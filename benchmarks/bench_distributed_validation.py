@@ -1,0 +1,95 @@
+"""Section 1 motivation -- validating a document that spans several machines.
+
+"It becomes often cumbersome to verify the validity, e.g., the type, of such
+a hierarchical structure spanning several machines."  This benchmark
+quantifies the pay-off of the paper's local typings on the NCPI scenario:
+once the perfect typing of Figure 4 has been propagated, each bureau
+validates its own data and only boolean acknowledgements travel, whereas
+centralized validation must ship every national document to Luxembourg.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.existence import find_perfect_typing
+from repro.distributed.network import DistributedDocument
+from repro.workloads import eurostat, synthetic
+
+COUNTRY_COUNTS = (2, 4, 8)
+
+
+def build(countries: int, seed: int = 0) -> DistributedDocument:
+    rng = random.Random(seed)
+    kernel = eurostat.kernel_document(countries)
+    documents = {"f0": eurostat.averages_document()}
+    for index, function in enumerate(eurostat.country_functions(countries)):
+        goods = tuple(f"good{rng.randint(1, 5)}" for _ in range(rng.randint(2, 6)))
+        documents[function] = eurostat.national_document(
+            function, goods=goods, use_index_format=index % 2 == 0
+        )
+    return DistributedDocument(kernel, documents)
+
+
+@pytest.mark.parametrize("countries", COUNTRY_COUNTS)
+def test_centralized_validation(benchmark, countries):
+    distributed = build(countries)
+    report = benchmark(distributed.validate_centralized, eurostat.global_dtd())
+    assert report.valid
+
+
+@pytest.mark.parametrize("countries", COUNTRY_COUNTS)
+def test_local_validation(benchmark, countries):
+    distributed = build(countries)
+    typing = find_perfect_typing(eurostat.top_down_design(countries))
+    distributed.propagate_typing(typing)
+    report = benchmark(distributed.validate_locally)
+    assert report.valid
+
+
+def test_bytes_and_messages_comparison(benchmark, table):
+    rows = []
+    for countries in COUNTRY_COUNTS:
+        distributed = build(countries)
+        typing = find_perfect_typing(eurostat.top_down_design(countries))
+        distributed.propagate_typing(typing)
+        distributed.network.reset()
+        local = distributed.validate_locally()
+        centralized = distributed.validate_centralized(eurostat.global_dtd())
+        saving = 100.0 * (1 - local.bytes_shipped / centralized.bytes_shipped)
+        rows.append(
+            [
+                countries,
+                centralized.bytes_shipped,
+                local.bytes_shipped,
+                f"{saving:.1f}%",
+                local.valid == centralized.valid,
+            ]
+        )
+    table(
+        "Local vs centralized validation of the NCPI document",
+        ["countries", "centralized bytes", "local bytes", "bytes saved", "same verdict"],
+        rows,
+    )
+    assert all(row[4] for row in rows)
+    assert all(row[2] < row[1] for row in rows)
+    distributed = build(COUNTRY_COUNTS[-1])
+    typing = find_perfect_typing(eurostat.top_down_design(COUNTRY_COUNTS[-1]))
+    distributed.propagate_typing(typing)
+    benchmark(distributed.validate_locally)
+
+
+def test_local_validation_detects_bad_data(benchmark):
+    distributed = build(3)
+    typing = find_perfect_typing(eurostat.top_down_design(3))
+    distributed.propagate_typing(typing)
+    distributed.update_resource("f2", synthetic.flat_kernel(0, root="root_f2").tree)
+    report = benchmark(distributed.validate_locally)
+    # An empty answer is still valid under nationalIndex*; publish garbage instead.
+    from repro.trees.term import parse_term
+
+    distributed.update_resource("f2", parse_term("root_f2(country)"))
+    assert not distributed.validate_locally().valid
+    assert report is not None

@@ -1,0 +1,59 @@
+"""Figure 1 / Figure 2 -- the distributed NCPI document and its materialisation.
+
+Figure 1 shows the NCPI document spanning Eurostat plus one peer per
+country; Figure 2 shows a materialised extension.  The benchmark builds the
+distributed document for a growing number of countries, times the
+materialisation (every docking point is activated and its forest shipped to
+the coordinator) and checks that the resulting document is exactly the
+Figure 2 shape: valid for the global DTD of Figure 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.network import DistributedDocument
+from repro.workloads import eurostat
+
+COUNTRY_COUNTS = (2, 4, 8, 16)
+
+
+def build(countries: int) -> DistributedDocument:
+    kernel = eurostat.kernel_document(countries)
+    documents = {"f0": eurostat.averages_document()}
+    for index, function in enumerate(eurostat.country_functions(countries)):
+        documents[function] = eurostat.national_document(function, use_index_format=index % 2 == 0)
+    return DistributedDocument(kernel, documents)
+
+
+@pytest.mark.parametrize("countries", COUNTRY_COUNTS)
+def test_materialise_ncpi(benchmark, countries):
+    distributed = build(countries)
+    extension = benchmark(distributed.materialize)
+    assert eurostat.global_dtd().validate(extension)
+    # One nationalIndex block per good and country, plus the averages block.
+    assert extension.child_str().count("nationalIndex") == countries * len(eurostat.DEFAULT_GOODS)
+
+
+def test_distribution_accounting(benchmark, table):
+    rows = []
+    for countries in COUNTRY_COUNTS:
+        distributed = build(countries)
+        extension = distributed.materialize()
+        rows.append(
+            [
+                countries,
+                extension.size,
+                distributed.network.message_count,
+                distributed.network.bytes_shipped,
+            ]
+        )
+    table(
+        "Figure 1/2 (materialising the NCPI document)",
+        ["countries", "document nodes", "messages", "bytes shipped"],
+        rows,
+    )
+    # Cost grows linearly with the number of countries.
+    assert rows[-1][2] == 2 * (COUNTRY_COUNTS[-1] + 1)
+    assert rows[-1][3] > rows[0][3]
+    benchmark(build(COUNTRY_COUNTS[-1]).materialize)

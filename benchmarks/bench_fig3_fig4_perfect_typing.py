@@ -1,0 +1,51 @@
+"""Figures 3 and 4 -- propagating the global DTD τ into the perfect typing.
+
+Figure 3 gives the global DTD; Figure 4 gives the local types
+``rooti -> nationalIndex*`` the paper presents as the perfect typing of the
+design.  The benchmark runs ``∃-perf`` on the Eurostat design for a growing
+number of countries, checks that the computed typing is exactly Figure 4
+(up to language equivalence) and that it verifies as perfect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import regex_to_nfa
+from repro.core.existence import find_perfect_typing
+from repro.core.locality import is_perfect, root_content_of
+from repro.workloads import eurostat
+
+COUNTRY_COUNTS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("countries", COUNTRY_COUNTS)
+def test_find_the_figure4_typing(benchmark, countries):
+    design = eurostat.top_down_design(countries)
+    typing = benchmark(find_perfect_typing, design)
+    assert typing is not None
+    assert typing.equivalent_to(eurostat.figure4_typing(countries))
+    for function in eurostat.country_functions(countries):
+        assert equivalent(
+            root_content_of(typing[function]), regex_to_nfa("nationalIndex*", names=True)
+        )
+
+
+@pytest.mark.parametrize("countries", (2, 4))
+def test_verify_the_figure4_typing(benchmark, countries):
+    design = eurostat.top_down_design(countries)
+    typing = eurostat.figure4_typing(countries)
+    assert benchmark(is_perfect, design, typing)
+
+
+def test_reported_typing_table(benchmark, table):
+    design = eurostat.top_down_design(2)
+    typing = find_perfect_typing(design)
+    rows = [
+        [function, f"{schema.start} -> {schema.content(schema.start)}"]
+        for function, schema in typing.items()
+    ]
+    table("Figure 4 (the perfect typing found)", ["resource", "root rule"], rows)
+    assert any("nationalIndex*" in str(row[1]) for row in rows)
+    benchmark(find_perfect_typing, design)

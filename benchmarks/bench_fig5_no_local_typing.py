@@ -1,0 +1,51 @@
+"""Figure 5 -- the bad design τ': the format constraint cannot be controlled locally.
+
+The paper's point: τ' forces all countries onto one of the two nationalIndex
+formats, a constraint no assignment of independent local types can express.
+The benchmark runs the analysis for a growing number of countries and checks
+the formal rendition of the claim (see EXPERIMENTS.md): no perfect typing
+exists, and in every maximal local typing at most one country is allowed to
+publish anything -- i.e. genuine distribution is impossible under τ'.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.existence import find_maximal_local_typings, find_perfect_typing
+from repro.core.locality import root_content_of
+from repro.workloads import eurostat
+
+COUNTRY_COUNTS = (2, 3)
+
+
+@pytest.mark.parametrize("countries", COUNTRY_COUNTS)
+def test_no_perfect_typing(benchmark, countries):
+    design = eurostat.bad_design(countries)
+    assert benchmark(find_perfect_typing, design) is None
+
+
+@pytest.mark.parametrize("countries", COUNTRY_COUNTS)
+def test_local_typings_are_degenerate(benchmark, countries):
+    design = eurostat.bad_design(countries)
+    typings = benchmark(find_maximal_local_typings, design)
+    assert typings
+    for typing in typings:
+        publishing = [
+            function
+            for function in eurostat.country_functions(countries)
+            if root_content_of(typing[function]).shortest_word() not in (None, ())
+        ]
+        assert len(publishing) <= 1
+
+
+def test_good_vs_bad_design_table(benchmark, table):
+    good = eurostat.top_down_design(2)
+    bad = eurostat.bad_design(2)
+    rows = [
+        ["τ (Figure 3)", good.exists_perfect_typing(), "every country publishes independently"],
+        ["τ' (Figure 5)", bad.exists_perfect_typing(), "at most one country may publish"],
+    ]
+    table("Figure 5 (good vs bad design)", ["global type", "perfect typing", "distribution"], rows)
+    assert rows[0][1] and not rows[1][1]
+    benchmark(find_perfect_typing, bad)

@@ -1,0 +1,49 @@
+"""Figure 6 -- the design <τ'', T1>: no perfect typing, exactly two maximal local typings.
+
+τ'' interleaves the two nationalIndex formats and the kernel
+``T1 = eurostat(f1, nationalIndex(f2), f3)`` fixes one nationalIndex element
+between the docking points.  The paper reports that this design has no
+perfect typing and exactly the two maximal local typings shown in Section 1;
+the benchmark recomputes them through the EDTD machinery (normalisation, κ
+assignments, box designs) and checks both the count and the shapes.
+"""
+
+from __future__ import annotations
+
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import regex_to_nfa
+from repro.core.existence import find_maximal_local_typings, find_perfect_typing
+from repro.core.locality import is_maximal_local, root_content_of
+from repro.workloads import eurostat
+
+
+def test_no_perfect_typing(benchmark):
+    design = eurostat.figure6_design()
+    assert benchmark(find_perfect_typing, design) is None
+
+
+def test_exactly_two_maximal_local_typings(benchmark):
+    design = eurostat.figure6_design()
+    typings = benchmark(find_maximal_local_typings, design)
+    assert len(typings) == 2
+    for typing in typings:
+        assert is_maximal_local(design, typing)
+
+
+def test_the_two_typings_match_the_paper(benchmark, table):
+    design = eurostat.figure6_design()
+    typings = find_maximal_local_typings(design)
+    rows = []
+    seen = set()
+    for index, typing in enumerate(typings, start=1):
+        f2 = root_content_of(typing["f2"])
+        if equivalent(f2, regex_to_nfa("country, Good, index", names=True)):
+            seen.add("τ''_.1 (kernel nationalIndex uses the index format)")
+        if equivalent(f2, regex_to_nfa("country, Good, value, year", names=True)):
+            seen.add("τ''_.2 (kernel nationalIndex uses the value/year format)")
+        for function in design.kernel.functions:
+            schema = typing[function]
+            rows.append([f"#{index}", function, f"{schema.start} -> {schema.content(schema.start)}"])
+    table("Figure 6 (the two maximal local typings)", ["typing", "resource", "root rule"], rows)
+    assert len(seen) == 2
+    benchmark(find_maximal_local_typings, design)

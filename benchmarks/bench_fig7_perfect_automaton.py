@@ -1,0 +1,71 @@
+"""Figure 7 / Algorithm 1 -- constructing the perfect automaton Ω(A, w).
+
+Lemma 6.6 states that Ω is built in polynomial time and has size
+``O(n · k^3)`` for an ``n``-function kernel and a ``k``-state automaton.
+The benchmark constructs Ω for growing targets and kernels, measures its
+size and the number of legal local automata per gap, and checks Lemma 6.1
+(``[Ω] ⊆ [A]``) on every instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.equivalence import includes
+from repro.automata.regex import regex_to_nfa
+from repro.core.perfect import PerfectAutomaton
+from repro.core.words import KernelString
+
+
+def family(k: int, functions: int) -> tuple:
+    """Target ``(x1 ... xk)+`` with a kernel of ``functions`` docking points."""
+    symbols = ", ".join(f"x{i}" for i in range(1, k + 1))
+    target = regex_to_nfa(f"({symbols})+", names=True)
+    kernel = KernelString([()] * (functions + 1), [f"f{i}" for i in range(1, functions + 1)])
+    return target, kernel
+
+
+@pytest.mark.parametrize("k", (2, 4, 8))
+def test_build_perfect_automaton(benchmark, k):
+    target, kernel = family(k, functions=2)
+    perfect = benchmark(lambda: PerfectAutomaton(target, kernel))
+    assert perfect.compatible
+
+
+@pytest.mark.parametrize("functions", (1, 2, 3, 4))
+def test_build_with_many_functions(benchmark, functions):
+    target, kernel = family(3, functions)
+    perfect = benchmark(lambda: PerfectAutomaton(target, kernel))
+    assert perfect.compatible
+
+
+def test_omega_size_and_lemma_6_1(benchmark, table):
+    rows = []
+    for k in (2, 4, 8):
+        for functions in (1, 2, 3):
+            target, kernel = family(k, functions)
+            perfect = PerfectAutomaton(target, kernel)
+            omega = perfect.omega_nfa()
+            fragment_counts = [len(perfect.fragment_endpoints(gap)) for gap in range(1, functions + 1)]
+            assert includes(perfect.target, omega)  # Lemma 6.1
+            rows.append([k, functions, omega.size, fragment_counts])
+    table(
+        "Figure 7 (perfect automaton sizes)",
+        ["target states k", "functions n", "|Ω|", "|Aut(Ωi)| per gap"],
+        rows,
+    )
+    # Polynomial growth: the largest instance stays well below k^3 * n * constant.
+    largest = rows[-1]
+    assert largest[2] < 20 * (8 ** 2) * 3
+    target, kernel = family(8, 3)
+    benchmark(lambda: PerfectAutomaton(target, kernel).omega_nfa())
+
+
+def test_example_figure7_style_instance(benchmark):
+    """A concrete instance in the spirit of Figure 7's drawing."""
+    target = regex_to_nfa("a, (b | c)*, d", names=True)
+    kernel = KernelString.parse("a f1 d", names=True)
+    perfect = benchmark(lambda: PerfectAutomaton(target, kernel))
+    omega = perfect.omega_typing()
+    assert len(omega) == 1
+    assert includes(perfect.target, kernel.build(list(omega)))

@@ -1,0 +1,61 @@
+"""Figure 8 -- decomposing the legal local automata into disjoint cells (Dec(Ωi)).
+
+Figure 8 illustrates how the (overlapping) local automata of one gap are
+partitioned into at most ``2^k - 1`` pairwise-disjoint cells; Theorem 6.11
+builds the existence procedures for local/maximal typings on top of this
+decomposition.  The benchmark computes the decomposition for gaps with a
+growing number of local automata and checks the structural properties the
+figure depicts: cells are non-empty, pairwise disjoint, and their union is
+exactly ``Ωi``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import operations as ops
+from repro.automata.equivalence import disjoint, equivalent
+from repro.automata.regex import regex_to_nfa
+from repro.core.perfect import PerfectAutomaton
+from repro.core.words import KernelString
+
+DESIGNS = {
+    "example-2": ("a*bc*", "f1 f2"),
+    "example-5": ("(ab)+", "f1 f2"),
+    "example-10": ("a(bc)*d", "a f1 f2 d"),
+    "three-way": ("a*b?c* + c*", "f1 f2"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_decomposition_construction(benchmark, name):
+    expression, kernel_text = DESIGNS[name]
+    perfect = PerfectAutomaton(regex_to_nfa(expression), KernelString.parse(kernel_text))
+    cells_per_gap = benchmark(perfect.decompositions)
+    for gap, cells in enumerate(cells_per_gap, start=1):
+        fragments = perfect.local_automata(gap)
+        assert 1 <= len(cells) <= 2 ** len(fragments) - 1
+
+
+def test_decomposition_properties(benchmark, table):
+    rows = []
+    for name, (expression, kernel_text) in sorted(DESIGNS.items()):
+        perfect = PerfectAutomaton(regex_to_nfa(expression), KernelString.parse(kernel_text))
+        for gap in range(1, perfect.kernel.n + 1):
+            fragments = perfect.local_automata(gap)
+            cells = perfect.decomposition(gap)
+            # Pairwise disjoint...
+            for i in range(len(cells)):
+                for j in range(i + 1, len(cells)):
+                    assert disjoint(cells[i], cells[j])
+            # ... and their union is Ωi.
+            union = ops.union_all(cells).with_alphabet(perfect.alphabet)
+            assert equivalent(union, perfect.omega_component(gap), perfect.alphabet)
+            rows.append([name, gap, len(fragments), len(cells)])
+    table(
+        "Figure 8 (decomposition of the local automata)",
+        ["design", "gap", "|Aut(Ωi)|", "|Dec(Ωi)| (non-empty cells)"],
+        rows,
+    )
+    perfect = PerfectAutomaton(regex_to_nfa("(ab)+"), KernelString.parse("f1 f2"))
+    benchmark(perfect.decompositions)

@@ -1,0 +1,84 @@
+"""Table 2 -- the consistency problem ``cons[S]`` for bottom-up designs.
+
+The paper proves ``cons[R-EDTD]`` is decidable in constant time while
+``cons[R-DTD]`` / ``cons[R-SDTD]`` are PSPACE-complete.  The benchmark runs
+the actual decision procedures on designs with a growing number of resources
+and checks the shape the table predicts: the EDTD check does not grow with
+the design (it only builds ``T(τn)``, which is linear -- Proposition 3.1),
+while the DTD/SDTD checks perform closure construction plus tree-language
+equivalence and grow markedly faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.consistency import build_combined_type, check_consistency
+from repro.workloads import synthetic
+
+SIZES = (2, 4, 8)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_cons_edtd_is_cheap(benchmark, n):
+    design = synthetic.bottom_up_chain(n)
+    result = benchmark(check_consistency, design.kernel, design.typing, "EDTD")
+    assert result.consistent
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("language", ["DTD", "SDTD"])
+def test_cons_dtd_and_sdtd(benchmark, language, n):
+    design = synthetic.bottom_up_chain(n)
+    result = benchmark(check_consistency, design.kernel, design.typing, language)
+    assert result.consistent
+
+
+@pytest.mark.parametrize("n", (2, 3, 4))
+def test_cons_negative_instances(benchmark, n):
+    design = synthetic.non_consistent_design(n)
+    result = benchmark(check_consistency, design.kernel, design.typing, "DTD")
+    assert not result.consistent
+
+
+def test_combined_type_construction_is_linear(benchmark, table):
+    """Proposition 3.1: |T(τn)| and its construction time are linear in the input."""
+    rows = []
+    for n in (2, 4, 8, 16):
+        design = synthetic.bottom_up_chain(n)
+        start = time.perf_counter()
+        combined = build_combined_type(design.kernel, design.typing)
+        elapsed = time.perf_counter() - start
+        input_size = design.kernel.size + design.typing.size
+        rows.append([n, input_size, combined.size, f"{1000 * elapsed:.2f} ms"])
+    table("Table 2 (size of T(τn))", ["resources", "|T|+|τn|", "|T(τn)|", "construction"], rows)
+    # Linearity: the ratio output/input stays bounded as n grows.
+    ratios = [row[2] / row[1] for row in rows]
+    assert max(ratios) < 2 * min(ratios) + 1
+
+    design = synthetic.bottom_up_chain(8)
+    benchmark(build_combined_type, design.kernel, design.typing)
+
+
+def test_growth_shape_edtd_vs_dtd(benchmark, table):
+    """The qualitative separation of Table 2: EDTD stays flat, DTD/SDTD grow."""
+    rows = []
+    timings: dict[str, list[float]] = {"EDTD": [], "DTD": [], "SDTD": []}
+    for n in SIZES:
+        design = synthetic.bottom_up_chain(n)
+        row: list[object] = [n]
+        for language in ("EDTD", "SDTD", "DTD"):
+            start = time.perf_counter()
+            check_consistency(design.kernel, design.typing, language)
+            elapsed = time.perf_counter() - start
+            timings[language].append(elapsed)
+            row.append(f"{1000 * elapsed:.2f} ms")
+        rows.append(row)
+    table("Table 2 (cons[S] running time)", ["resources", "EDTD", "SDTD", "DTD"], rows)
+    # The EDTD column is the cheapest at the largest size (constant-time row of Table 2).
+    assert timings["EDTD"][-1] <= timings["DTD"][-1]
+    assert timings["EDTD"][-1] <= timings["SDTD"][-1]
+    design = synthetic.bottom_up_chain(SIZES[-1])
+    benchmark(check_consistency, design.kernel, design.typing, "EDTD")

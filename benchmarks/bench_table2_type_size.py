@@ -1,0 +1,56 @@
+"""Table 2 -- worst-case size of ``typeT(τn)`` under the four content-model formalisms.
+
+The table reports ``Θ(m)`` for nondeterministic formalisms and ``Θ(2^m)``
+for the deterministic ones (dFA / dRE) on DTDs and SDTDs.  The benchmark
+builds the classical blow-up family (the content model "the k-th letter from
+the end is an a") through a two-resource bottom-up design and measures the
+resulting type under both measures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import check_consistency, schema_size_under
+from repro.schemas.content_model import Formalism
+from repro.workloads import synthetic
+
+KS = (3, 5, 7)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_type_construction_for_blowup_family(benchmark, k):
+    design = synthetic.dfa_blowup_design(k)
+    result = benchmark(check_consistency, design.kernel, design.typing, "DTD")
+    assert result.consistent
+
+
+def test_deterministic_blowup_shape(benchmark, table):
+    """nFA sizes grow linearly with k; dFA sizes roughly double with each k."""
+    rows = []
+    nfa_sizes = []
+    dfa_sizes = []
+    for k in KS:
+        design = synthetic.dfa_blowup_design(k)
+        result = check_consistency(design.kernel, design.typing, "DTD")
+        nfa_size = schema_size_under(result.result_type, Formalism.NFA)
+        dfa_size = schema_size_under(result.result_type, Formalism.DFA)
+        nfa_sizes.append(nfa_size)
+        dfa_sizes.append(dfa_size)
+        rows.append([k, nfa_size, dfa_size])
+    table("Table 2 (|typeT(τn)|: nFA vs dFA)", ["k", "nFA size", "dFA size"], rows)
+    # Linear vs exponential shape.
+    assert nfa_sizes[-1] < 4 * nfa_sizes[0]
+    assert dfa_sizes[-1] > 8 * dfa_sizes[0]
+    # For small k the measures are comparable; for the largest k the dFA dominates.
+    assert dfa_sizes[-1] > nfa_sizes[-1]
+    design = synthetic.dfa_blowup_design(KS[-1])
+    benchmark(check_consistency, design.kernel, design.typing, "DTD")
+
+
+@pytest.mark.parametrize("k", KS)
+def test_size_measurement_under_dfa(benchmark, k):
+    design = synthetic.dfa_blowup_design(k)
+    result = check_consistency(design.kernel, design.typing, "DTD")
+    size = benchmark(schema_size_under, result.result_type, Formalism.DFA)
+    assert size >= 2 ** (k - 1)

@@ -1,0 +1,80 @@
+"""Table 3 (rows D-E) -- existence and construction: ∃-loc, ∃-ml, ∃-perf.
+
+The existence problems are the expensive ones (PSPACE- to EXPSPACE-hard for
+words, EXPTIME-hard to 2-EXPSPACE for EDTDs).  The benchmark times the
+search procedures -- perfect-automaton construction plus decomposition-cell
+enumeration (Theorem 6.11) and, for EDTDs, κ enumeration (Corollary 4.14) --
+on growing designs, and records how the answers split between the three
+notions (every perfect typing is local, but not conversely).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.existence import (
+    exists_maximal_local_typing,
+    find_local_typing,
+    find_maximal_local_typings,
+    find_perfect_typing,
+)
+from repro.workloads import eurostat, synthetic
+
+
+@pytest.mark.parametrize("k", (2, 3, 4))
+def test_exists_perfect_on_separable_designs(benchmark, k):
+    design = synthetic.separable_topdown_design(k)
+    typing = benchmark(find_perfect_typing, design)
+    assert typing is not None
+
+
+@pytest.mark.parametrize("k", (2, 3, 4))
+def test_exists_local_on_interleaved_designs(benchmark, k):
+    design = synthetic.word_topdown_design(k)
+    typing = benchmark(find_local_typing, design)
+    assert typing is not None
+
+
+@pytest.mark.parametrize("k", (2, 3))
+def test_enumerate_maximal_local_typings(benchmark, k):
+    design = synthetic.word_topdown_design(k)
+    typings = benchmark(find_maximal_local_typings, design, limit=8)
+    assert len(typings) >= 1
+    assert find_perfect_typing(design) is None
+
+
+@pytest.mark.parametrize("k", (1, 2, 3))
+def test_exists_local_edtd(benchmark, k):
+    design = synthetic.edtd_topdown_design(k)
+    assert benchmark(exists_maximal_local_typing, design)
+
+
+def test_eurostat_existence(benchmark):
+    design = eurostat.top_down_design(countries=3)
+    typing = benchmark(find_perfect_typing, design)
+    assert typing is not None
+
+
+def test_existence_cost_shape(benchmark, table):
+    """∃-perf (a single perfect-automaton check) is cheaper than enumerating all maximal typings."""
+    design = synthetic.word_topdown_design(2)
+
+    start = time.perf_counter()
+    find_perfect_typing(design)
+    perf_time = time.perf_counter() - start
+    start = time.perf_counter()
+    typings = find_maximal_local_typings(design, limit=8)
+    ml_time = time.perf_counter() - start
+
+    table(
+        "Table 3 (existence problems on the Example-5 family)",
+        ["problem", "answer", "time"],
+        [
+            ["∃-perf", "no", f"{1000 * perf_time:.2f} ms"],
+            ["∃-ml (enumerate all)", f"{len(typings)} maximal typings", f"{1000 * ml_time:.2f} ms"],
+        ],
+    )
+    assert ml_time >= perf_time
+    benchmark(find_maximal_local_typings, design, limit=8)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index and EXPERIMENTS.md for the paper-vs-measured
+comparison).  Benchmarks assert the *shape* the paper reports (who is cheap,
+what blows up, how many typings exist) and time the actual decision
+procedures with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report_rows(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a small aligned table; shown with ``pytest -s`` and kept in reports."""
+    widths = [max(len(str(cell)) for cell in [header] + [row[i] for row in rows]) for i, header in enumerate(headers)]
+    print(f"\n== {title} ==")
+    print("  " + "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)))
+    for row in rows:
+        print("  " + "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def table() -> object:
+    """Fixture exposing :func:`report_rows` to benchmark tests."""
+    return report_rows

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""The National Consumer Price Index scenario of Section 1 (Figures 1-6).
+
+Eurostat maintains a kernel document with one docking point per national
+statistics bureau.  This example walks through the whole story:
+
+1. the global DTD τ (Figure 3) is propagated into the perfect typing of
+   Figure 4 -- every country gets ``rooti -> nationalIndex*``;
+2. each bureau validates its own data locally, and the soundness of the
+   typing guarantees global validity without shipping any XML to Luxembourg
+   (the byte counts of both strategies are printed);
+3. the alternative global type τ' (Figure 5) is shown to be a *bad design*:
+   it admits no perfect typing and every local typing silences all but one
+   country;
+4. the design <τ'', T1> (Figure 6) is shown to have exactly two maximal
+   local typings and no perfect one.
+
+Run with::
+
+    python examples/eurostat_ncpi.py
+"""
+
+from __future__ import annotations
+
+from repro.api import analyze_design
+from repro.core.existence import find_maximal_local_typings, find_perfect_typing
+from repro.core.locality import root_content_of
+from repro.distributed.network import DistributedDocument
+from repro.workloads import eurostat
+
+COUNTRIES = ("FR", "AT", "IT", "UK")
+
+
+def propagate_the_global_type() -> None:
+    print("=" * 70)
+    print("1. Propagating the global DTD of Figure 3 (top-down design)")
+    print("=" * 70)
+    design = eurostat.top_down_design(COUNTRIES)
+    print("global type τ:")
+    print(design.target.describe())
+    print(f"kernel T0 held by Eurostat: {design.kernel}")
+    typing = find_perfect_typing(design)
+    assert typing is not None
+    print("\nThe design admits a PERFECT typing (Figure 4):")
+    for function in design.kernel.functions:
+        schema = typing[function]
+        print(f"  {function}: {schema.start} -> {schema.content(schema.start)}")
+
+
+def validate_without_shipping_data() -> None:
+    print()
+    print("=" * 70)
+    print("2. Local validation vs centralized validation")
+    print("=" * 70)
+    design = eurostat.top_down_design(COUNTRIES)
+    typing = find_perfect_typing(design)
+    documents = {"f0": eurostat.averages_document()}
+    for index, function in enumerate(eurostat.country_functions(COUNTRIES)):
+        documents[function] = eurostat.national_document(function, use_index_format=index % 2 == 0)
+    distributed = DistributedDocument(design.kernel, documents)
+    print(distributed.describe())
+    distributed.propagate_typing(typing)
+    distributed.network.reset()
+
+    local = distributed.validate_locally()
+    centralized = distributed.validate_centralized(design.target)
+    print(f"\n  {local}")
+    print(f"  {centralized}")
+    saving = 100.0 * (1 - local.bytes_shipped / centralized.bytes_shipped)
+    print(f"  -> local validation ships {saving:.1f}% fewer bytes, with the same verdict.")
+
+
+def bad_design_figure5() -> None:
+    print()
+    print("=" * 70)
+    print("3. The bad design τ' of Figure 5")
+    print("=" * 70)
+    design = eurostat.bad_design(COUNTRIES)
+    print("global type τ' (all countries must use the same format):")
+    print(design.target.describe())
+    report = analyze_design(design, maximal_limit=4)
+    print(f"\n  perfect typing exists: {report.has_perfect_typing}")
+    print(f"  maximal local typings found: {len(report.maximal_local_typings)}")
+    for index, typing in enumerate(report.maximal_local_typings, start=1):
+        publishing = [
+            function
+            for function in eurostat.country_functions(COUNTRIES)
+            if root_content_of(typing[function]).shortest_word() not in (None, ())
+        ]
+        print(f"  typing #{index}: countries allowed to publish anything at all: {publishing or 'none'}")
+    print("  -> the format constraint cannot be controlled locally: in every local")
+    print("     typing at most one country may publish data.")
+
+
+def figure6_two_maximal_typings() -> None:
+    print()
+    print("=" * 70)
+    print("4. The design <τ'', T1> of Figure 6")
+    print("=" * 70)
+    design = eurostat.figure6_design()
+    print("global type τ'':")
+    print(design.target.describe())
+    print(f"kernel T1: {design.kernel}")
+    typings = find_maximal_local_typings(design)
+    print(f"\n  perfect typing exists: {design.exists_perfect_typing()}")
+    print(f"  maximal local typings: {len(typings)}")
+    for index, typing in enumerate(typings, start=1):
+        print(f"  -- maximal local typing #{index}:")
+        for function in design.kernel.functions:
+            schema = typing[function]
+            print(f"     {function}: {schema.start} -> {schema.content(schema.start)}")
+
+
+def main() -> None:
+    propagate_the_global_type()
+    validate_without_shipping_data()
+    bad_design_figure5()
+    figure6_two_maximal_typings()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""The public facade of the library.
+
+Everything a user of the library (and every script in ``examples/``) needs
+is reachable from here: small constructors for trees, kernels and schemas,
+the two design classes, and :func:`analyze_design`, which runs the paper's
+decision procedures on a design and produces a readable report.
+
+>>> from repro import dtd, kernel, top_down_design
+>>> design = top_down_design(dtd("s", {"s": "a*, b, c*"}), kernel("s(f1 b f2)"))
+>>> design.exists_perfect_typing()
+True
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import DesignError
+from repro.schemas.content_model import Formalism
+from repro.schemas.dtd import DTD
+from repro.schemas.dtd_text import parse_dtd_text, parse_rules
+from repro.schemas.edtd import EDTD
+from repro.schemas.sdtd import SDTD
+from repro.core.consistency import ConsistencyResult, check_consistency
+from repro.core.design import BottomUpDesign, Design, TopDownDesign
+from repro.core.existence import (
+    find_local_typing,
+    find_maximal_local_typings,
+    find_perfect_typing,
+)
+from repro.core.kernel import KernelTree
+from repro.core.typing import SchemaType, TreeTyping
+from repro.trees.document import Tree
+from repro.trees.term import parse_term
+
+__all__ = [
+    "tree",
+    "kernel",
+    "dtd",
+    "sdtd",
+    "edtd",
+    "typing_of",
+    "top_down_design",
+    "bottom_up_design",
+    "Design",
+    "DesignReport",
+    "analyze_design",
+]
+
+
+# --------------------------------------------------------------------------- #
+# constructors
+# --------------------------------------------------------------------------- #
+
+
+def tree(text: Union[str, Tree]) -> Tree:
+    """Parse a tree from the paper's term notation (``"s(a b(c))"``)."""
+    return parse_term(text) if isinstance(text, str) else text
+
+
+def kernel(text: Union[str, Tree], functions=None) -> KernelTree:
+    """Build a kernel document; function symbols ``f``, ``f1``, ... are auto-detected."""
+    return KernelTree(tree(text), functions)
+
+
+def dtd(
+    start: Optional[str] = None,
+    rules: Optional[Mapping[str, object]] = None,
+    text: Optional[str] = None,
+    formalism: Union[Formalism, str] = Formalism.NRE,
+) -> DTD:
+    """Build an R-DTD from a rules mapping or from schema text (W3C or arrow notation)."""
+    if text is not None:
+        parsed = parse_rules(text)
+        return DTD(start or next(iter(parsed)), parsed, formalism)
+    if rules is None:
+        raise DesignError("dtd() needs either a rules mapping or schema text")
+    if start is None:
+        raise DesignError("dtd() needs a start symbol when rules are given as a mapping")
+    return DTD(start, rules, formalism)
+
+
+def sdtd(
+    start: str,
+    rules: Mapping[str, object],
+    mu: Optional[Mapping[str, str]] = None,
+    formalism: Union[Formalism, str] = Formalism.NRE,
+) -> SDTD:
+    """Build an R-SDTD (single-type extended DTD, the XSD abstraction)."""
+    return SDTD(start, rules, mu, formalism)
+
+
+def edtd(
+    start: str,
+    rules: Mapping[str, object],
+    mu: Optional[Mapping[str, str]] = None,
+    formalism: Union[Formalism, str] = Formalism.NRE,
+) -> EDTD:
+    """Build an R-EDTD (extended DTD / regular tree grammar, the Relax NG abstraction)."""
+    return EDTD(start, rules, mu, formalism)
+
+
+def typing_of(types: Mapping[str, SchemaType]) -> TreeTyping:
+    """Build a typing from a ``{function: schema}`` mapping."""
+    return TreeTyping(types)
+
+
+def top_down_design(target: SchemaType, kernel_document: Union[KernelTree, str, Tree]) -> TopDownDesign:
+    """A top-down design ``<τ, T>`` (Definition 10)."""
+    if not isinstance(kernel_document, KernelTree):
+        kernel_document = kernel(kernel_document)
+    return TopDownDesign(target, kernel_document)
+
+
+def bottom_up_design(
+    typing: Union[TreeTyping, Mapping[str, SchemaType]],
+    kernel_document: Union[KernelTree, str, Tree],
+) -> BottomUpDesign:
+    """A bottom-up design ``<(τn), T>`` (Definition 10)."""
+    if not isinstance(typing, TreeTyping):
+        typing = TreeTyping(typing)
+    if not isinstance(kernel_document, KernelTree):
+        kernel_document = kernel(kernel_document)
+    return BottomUpDesign(typing, kernel_document)
+
+
+# --------------------------------------------------------------------------- #
+# analysis reports
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class DesignReport:
+    """The outcome of :func:`analyze_design` on a top-down or bottom-up design."""
+
+    design: Design
+    local_typing: Optional[TreeTyping] = None
+    perfect_typing: Optional[TreeTyping] = None
+    maximal_local_typings: list[TreeTyping] = field(default_factory=list)
+    consistency: dict[str, ConsistencyResult] = field(default_factory=dict)
+
+    @property
+    def has_local_typing(self) -> bool:
+        return self.local_typing is not None
+
+    @property
+    def has_perfect_typing(self) -> bool:
+        return self.perfect_typing is not None
+
+    def summary(self) -> str:
+        """A human-readable summary (what the examples print)."""
+        lines: list[str] = []
+        if isinstance(self.design, TopDownDesign):
+            lines.append(f"top-down {self.design.schema_language} design over kernel {self.design.kernel}")
+            lines.append(f"  local typing exists:   {self.has_local_typing}")
+            lines.append(f"  perfect typing exists: {self.has_perfect_typing}")
+            lines.append(f"  maximal local typings found: {len(self.maximal_local_typings)}")
+            if self.perfect_typing is not None:
+                lines.append("  perfect typing:")
+                lines.extend("    " + line for line in self.perfect_typing.describe().splitlines())
+            elif self.maximal_local_typings:
+                for index, typing in enumerate(self.maximal_local_typings, start=1):
+                    lines.append(f"  maximal local typing #{index}:")
+                    lines.extend("    " + line for line in typing.describe().splitlines())
+        else:
+            lines.append(f"bottom-up design over kernel {self.design.kernel}")
+            for language, result in self.consistency.items():
+                size = result.type_size if result.consistent else "-"
+                lines.append(
+                    f"  cons[{language}]: {'yes' if result.consistent else 'no'}"
+                    f" ({result.reason}); |typeT(τn)| = {size}"
+                )
+        return "\n".join(lines)
+
+
+def analyze_design(
+    design: Design,
+    maximal_limit: int = 4,
+    schema_languages: tuple[str, ...] = ("DTD", "SDTD", "EDTD"),
+) -> DesignReport:
+    """Run the paper's decision procedures on a design and collect the results.
+
+    For a top-down design: ``∃-loc``, ``∃-perf`` and a bounded enumeration of
+    maximal local typings.  For a bottom-up design: ``cons[S]`` for each
+    requested schema language.
+    """
+    report = DesignReport(design=design)
+    if isinstance(design, TopDownDesign):
+        report.perfect_typing = find_perfect_typing(design)
+        report.local_typing = report.perfect_typing or find_local_typing(design)
+        report.maximal_local_typings = find_maximal_local_typings(design, limit=maximal_limit)
+        return report
+    if isinstance(design, BottomUpDesign):
+        for language in schema_languages:
+            report.consistency[language] = check_consistency(design.kernel, design.typing, language)
+        return report
+    raise DesignError(f"cannot analyse {design!r}")

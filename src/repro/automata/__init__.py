@@ -1,0 +1,79 @@
+"""Regular string-language substrate (Section 2.1.2 of the paper).
+
+This package implements, from scratch, everything the paper needs about
+regular *string* languages:
+
+* :mod:`repro.automata.nfa` -- nondeterministic finite automata with
+  epsilon transitions (the paper's ``nFA``),
+* :mod:`repro.automata.dfa` -- deterministic finite automata (``dFA``),
+  subset construction and Moore minimisation,
+* :mod:`repro.automata.operations` -- the boolean and rational operations
+  used throughout the paper (union, intersection, complement, difference,
+  concatenation, Kleene closures, reversal),
+* :mod:`repro.automata.equivalence` -- emptiness, inclusion and equivalence
+  (the problem ``equiv[R]`` of Definition 1), including counter-example
+  extraction,
+* :mod:`repro.automata.regex` -- the abstract syntax of the paper's
+  regular expressions (``nRE``), a parser for the paper's notation, and the
+  Thompson and Glushkov translations into automata,
+* :mod:`repro.automata.determinism` -- deterministic regular expressions
+  (``dRE``), i.e. one-unambiguous languages, with the Brüggemann-Klein/Wood
+  decision procedure for ``one-unamb[R]`` (Definition 2).
+"""
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.dfa import DFA
+from repro.automata.operations import (
+    concat,
+    complement,
+    difference,
+    intersection,
+    kleene_star,
+    optional,
+    plus,
+    reverse,
+    sigma_star,
+    union,
+)
+from repro.automata.equivalence import (
+    counterexample,
+    equivalent,
+    find_word,
+    includes,
+    is_empty,
+)
+from repro.automata.regex import (
+    Regex,
+    parse_regex,
+    regex_to_nfa,
+    glushkov_nfa,
+    is_deterministic_regex,
+)
+from repro.automata.determinism import is_one_unambiguous
+
+__all__ = [
+    "EPSILON",
+    "NFA",
+    "DFA",
+    "concat",
+    "complement",
+    "difference",
+    "intersection",
+    "kleene_star",
+    "optional",
+    "plus",
+    "reverse",
+    "sigma_star",
+    "union",
+    "counterexample",
+    "equivalent",
+    "find_word",
+    "includes",
+    "is_empty",
+    "Regex",
+    "parse_regex",
+    "regex_to_nfa",
+    "glushkov_nfa",
+    "is_deterministic_regex",
+    "is_one_unambiguous",
+]

@@ -1,0 +1,130 @@
+"""Emptiness, inclusion and equivalence of regular string languages.
+
+``equiv[R]`` (Definition 1) is PSPACE-complete for nFAs (Theorem 5.1, citing
+Meyer & Stockmeyer); this module implements it exactly via subset
+construction and product exploration, with counter-example extraction used
+both by the tests and by the human-readable design reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, Symbol, Word
+
+
+def is_empty(nfa: NFA) -> bool:
+    """Decide whether ``[A] = ∅``."""
+    return nfa.is_empty_language()
+
+
+def find_word(nfa: NFA) -> Optional[Word]:
+    """Return some word of ``[A]`` (a shortest one), or ``None`` when empty."""
+    return nfa.shortest_word()
+
+
+def _joint_alphabet(left: NFA, right: NFA, alphabet: Iterable[Symbol] | None) -> frozenset[Symbol]:
+    if alphabet is not None:
+        return frozenset(alphabet)
+    return left.alphabet | right.alphabet
+
+
+def counterexample_inclusion(
+    left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None
+) -> Optional[Word]:
+    """Return a word in ``[left] − [right]``, or ``None`` if ``[left] ⊆ [right]``.
+
+    The search explores the product of the subset simulations of both
+    automata breadth-first, so the returned counter-example is shortest.
+    """
+    symbols = _joint_alphabet(left, right, alphabet)
+    a = left.remove_epsilon()
+    b = right.remove_epsilon()
+    start = (a.epsilon_closure({a.initial}), b.epsilon_closure({b.initial}))
+    queue: deque[tuple[Word, tuple[frozenset, frozenset]]] = deque([((), start)])
+    seen = {start}
+    while queue:
+        word, (sa, sb) = queue.popleft()
+        if (sa & a.finals) and not (sb & b.finals):
+            return word
+        for symbol in sorted(symbols):
+            na = a.step(sa, symbol)
+            if not na:
+                # left cannot accept any extension; prune
+                continue
+            nb = b.step(sb, symbol)
+            pair = (na, nb)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append((word + (symbol,), pair))
+    return None
+
+
+def includes(big: NFA, small: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
+    """Decide ``[small] ⊆ [big]`` (the ``τ ≤ τ'`` relation of Section 2.4)."""
+    return counterexample_inclusion(small, big, alphabet) is None
+
+
+def equivalent(left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
+    """Decide ``[left] = [right]`` (the problem ``equiv[R]``)."""
+    return (
+        counterexample_inclusion(left, right, alphabet) is None
+        and counterexample_inclusion(right, left, alphabet) is None
+    )
+
+
+def counterexample(
+    left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None
+) -> Optional[tuple[str, Word]]:
+    """Return a witness of non-equivalence.
+
+    The result is ``None`` when the languages are equal, otherwise a pair
+    ``(side, word)`` where ``side`` is ``"left-only"`` or ``"right-only"``.
+    """
+    word = counterexample_inclusion(left, right, alphabet)
+    if word is not None:
+        return ("left-only", word)
+    word = counterexample_inclusion(right, left, alphabet)
+    if word is not None:
+        return ("right-only", word)
+    return None
+
+
+def proper_subset(small: NFA, big: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
+    """Decide ``[small] ⊂ [big]`` (the strict ``τ < τ'`` relation)."""
+    return includes(big, small, alphabet) and not includes(small, big, alphabet)
+
+
+def disjoint(left: NFA, right: NFA) -> bool:
+    """Decide ``[left] ∩ [right] = ∅`` without building the full product automaton."""
+    from repro.automata.operations import intersection
+
+    return intersection(left, right).is_empty_language()
+
+
+def concat_universality(left: NFA, right: NFA, alphabet: Iterable[Symbol]) -> bool:
+    """The problem ``concat-univ[R]`` (Definition 16): is ``[left]◦[right] = Sigma*``?
+
+    PSPACE-complete (Lemma 3.9); used by the hardness reductions of
+    Corollaries 3.11 and 3.14 and exercised by the benchmarks.
+    """
+    from repro.automata.operations import concat, sigma_star
+
+    return equivalent(concat(left, right), sigma_star(alphabet), alphabet)
+
+
+def language_equal_upto(left: NFA, right: NFA, max_length: int) -> bool:
+    """Brute-force comparison of the languages up to ``max_length``.
+
+    Only used by the property-based tests as an independent oracle for
+    :func:`equivalent`.
+    """
+    return left.language_upto(max_length) == right.language_upto(max_length)
+
+
+def minimal_dfa_size(nfa: NFA) -> int:
+    """Number of states of the minimal DFA (state complexity of the language)."""
+    return len(DFA.from_nfa(nfa.remove_epsilon()).minimized().states)

@@ -1,0 +1,446 @@
+"""Nondeterministic finite automata (the paper's ``nFA``, Section 2.1.2).
+
+An :class:`NFA` is the quintuple ``A = <K, Sigma, Delta, qs, F>`` of the
+paper: a finite set of states, an alphabet of *symbols* (element names are
+multi-character strings such as ``"nationalIndex"``), a transition relation
+that may contain epsilon transitions, a single initial state and a set of
+final states.
+
+Words are represented as tuples of symbols.  The helper :func:`as_word`
+turns a plain string into a word of single-character symbols, which keeps
+unit tests close to the paper's notation (``"abba"`` becomes
+``("a", "b", "b", "a")``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Optional
+
+#: The epsilon label used in transition relations.  It is not a legal symbol.
+EPSILON = ""
+
+State = Any
+Symbol = str
+Word = tuple[Symbol, ...]
+
+
+def as_word(text: str | Sequence[Symbol]) -> Word:
+    """Normalise ``text`` into a word (tuple of symbols).
+
+    Strings are split into single-character symbols; any other sequence is
+    converted element-wise.
+
+    >>> as_word("abc")
+    ('a', 'b', 'c')
+    >>> as_word(["index", "value"])
+    ('index', 'value')
+    """
+    if isinstance(text, str):
+        return tuple(text)
+    return tuple(text)
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon transitions.
+
+    Parameters
+    ----------
+    states:
+        Iterable of hashable state identifiers.
+    alphabet:
+        Iterable of symbols (non-empty strings).
+    transitions:
+        Mapping ``state -> {label -> set of states}`` where ``label`` is a
+        symbol or :data:`EPSILON`.
+    initial:
+        The initial state ``qs``.
+    finals:
+        Iterable of accepting states.
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initial", "finals")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[State, Mapping[Symbol, Iterable[State]]],
+        initial: State,
+        finals: Iterable[State],
+    ) -> None:
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.initial = initial
+        self.finals = frozenset(finals)
+        table: dict[State, dict[Symbol, frozenset[State]]] = {}
+        for src, row in transitions.items():
+            table[src] = {label: frozenset(dsts) for label, dsts in row.items() if dsts}
+        self.transitions = table
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty_language(cls, alphabet: Iterable[Symbol] = ()) -> "NFA":
+        """The automaton defining the empty language (the paper's ``∅``)."""
+        return cls({0}, alphabet, {}, 0, frozenset())
+
+    @classmethod
+    def epsilon_language(cls, alphabet: Iterable[Symbol] = ()) -> "NFA":
+        """The automaton accepting exactly the empty word."""
+        return cls({0}, alphabet, {}, 0, {0})
+
+    @classmethod
+    def symbol(cls, sym: Symbol) -> "NFA":
+        """The automaton accepting exactly the one-symbol word ``sym``."""
+        return cls({0, 1}, {sym}, {0: {sym: {1}}}, 0, {1})
+
+    @classmethod
+    def from_word(cls, word: str | Sequence[Symbol]) -> "NFA":
+        """The automaton accepting exactly ``word``."""
+        w = as_word(word)
+        states = set(range(len(w) + 1))
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        for i, sym in enumerate(w):
+            transitions.setdefault(i, {}).setdefault(sym, set()).add(i + 1)
+        return cls(states, set(w), transitions, 0, {len(w)})
+
+    @classmethod
+    def from_finite_language(cls, words: Iterable[str | Sequence[Symbol]]) -> "NFA":
+        """The automaton accepting exactly the given finite set of words."""
+        from repro.automata.operations import union
+
+        automata = [cls.from_word(w) for w in words]
+        if not automata:
+            return cls.empty_language()
+        result = automata[0]
+        for nfa in automata[1:]:
+            result = union(result, nfa)
+        return result
+
+    @classmethod
+    def universal(cls, alphabet: Iterable[Symbol]) -> "NFA":
+        """The automaton accepting ``Sigma*`` over ``alphabet``."""
+        syms = frozenset(alphabet)
+        return cls({0}, syms, {0: {sym: {0} for sym in syms}}, 0, {0})
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise ValueError(f"initial state {self.initial!r} is not a state")
+        if not self.finals <= self.states:
+            raise ValueError("final states must be a subset of the states")
+        for src, row in self.transitions.items():
+            if src not in self.states:
+                raise ValueError(f"transition source {src!r} is not a state")
+            for label, dsts in row.items():
+                if label != EPSILON and label not in self.alphabet:
+                    raise ValueError(f"transition label {label!r} not in alphabet")
+                if not dsts <= self.states:
+                    raise ValueError(f"transition targets {dsts!r} are not all states")
+
+    def successors(self, state: State, label: Symbol) -> frozenset[State]:
+        """Return ``Delta(state, label)`` (without epsilon closure)."""
+        return self.transitions.get(state, {}).get(label, frozenset())
+
+    def iter_transitions(self) -> Iterator[tuple[State, Symbol, State]]:
+        """Iterate over all transitions as ``(source, label, target)`` triples."""
+        for src, row in self.transitions.items():
+            for label, dsts in row.items():
+                for dst in dsts:
+                    yield src, label, dst
+
+    def transition_count(self) -> int:
+        """Number of transitions (used by the size accounting of Table 2)."""
+        return sum(len(dsts) for row in self.transitions.values() for dsts in row.values())
+
+    @property
+    def size(self) -> int:
+        """Size measure ``|A|`` = number of states plus number of transitions."""
+        return len(self.states) + self.transition_count()
+
+    def has_epsilon_transitions(self) -> bool:
+        return any(EPSILON in row for row in self.transitions.values())
+
+    # ------------------------------------------------------------------ #
+    # runs
+    # ------------------------------------------------------------------ #
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """Return the set of states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.successors(state, EPSILON):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """One macro-step of the subset simulation: closure, then ``symbol``, then closure."""
+        current = self.epsilon_closure(states)
+        moved: set[State] = set()
+        for state in current:
+            moved |= self.successors(state, symbol)
+        return self.epsilon_closure(moved)
+
+    def run(self, word: str | Sequence[Symbol], start: Optional[Iterable[State]] = None) -> frozenset[State]:
+        """Return the set of states reachable after reading ``word``.
+
+        This is the extended transition relation ``Delta*`` of the paper,
+        evaluated from ``start`` (default: the initial state).
+        """
+        current = self.epsilon_closure({self.initial} if start is None else set(start))
+        for symbol in as_word(word):
+            current = self.step(current, symbol)
+            if not current:
+                break
+        return current
+
+    def accepts(self, word: str | Sequence[Symbol]) -> bool:
+        """Decide membership of ``word`` in ``[A]``."""
+        return bool(self.run(word) & self.finals)
+
+    # ------------------------------------------------------------------ #
+    # reachability and normal forms
+    # ------------------------------------------------------------------ #
+
+    def reachable_states(self, start: Optional[Iterable[State]] = None) -> frozenset[State]:
+        """States reachable from ``start`` (default: the initial state) via any labels."""
+        seen = set({self.initial} if start is None else start)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for row in (self.transitions.get(state, {}),):
+                for dsts in row.values():
+                    for dst in dsts:
+                        if dst not in seen:
+                            seen.add(dst)
+                            stack.append(dst)
+        return frozenset(seen)
+
+    def coreachable_states(self, targets: Optional[Iterable[State]] = None) -> frozenset[State]:
+        """States from which some state in ``targets`` (default: finals) is reachable."""
+        goal = frozenset(self.finals if targets is None else targets)
+        predecessors: dict[State, set[State]] = {state: set() for state in self.states}
+        for src, _label, dst in self.iter_transitions():
+            predecessors[dst].add(src)
+        seen = set(goal)
+        stack = list(goal)
+        while stack:
+            state = stack.pop()
+            for prev in predecessors.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    stack.append(prev)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Remove states that are unreachable or cannot reach a final state.
+
+        The initial state is always kept so that the result is a well-formed
+        automaton even when the language is empty.
+        """
+        useful = self.reachable_states() & self.coreachable_states()
+        keep = useful | {self.initial}
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        for src, label, dst in self.iter_transitions():
+            if src in useful and dst in useful:
+                transitions.setdefault(src, {}).setdefault(label, set()).add(dst)
+        return NFA(keep, self.alphabet, transitions, self.initial, self.finals & keep)
+
+    def relabel(self, prefix: str = "q") -> "NFA":
+        """Return an isomorphic automaton whose states are ``prefix0 .. prefixN``.
+
+        Useful before combining automata whose state sets might clash.
+        """
+        mapping = {state: f"{prefix}{index}" for index, state in enumerate(sorted(self.states, key=repr))}
+        return self.map_states(mapping)
+
+    def map_states(self, mapping: Mapping[State, State]) -> "NFA":
+        """Rename states according to ``mapping`` (must be injective)."""
+        if len(set(mapping.values())) != len(mapping):
+            raise ValueError("state mapping must be injective")
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        for src, label, dst in self.iter_transitions():
+            transitions.setdefault(mapping[src], {}).setdefault(label, set()).add(mapping[dst])
+        return NFA(
+            {mapping[state] for state in self.states},
+            self.alphabet,
+            transitions,
+            mapping[self.initial],
+            {mapping[state] for state in self.finals},
+        )
+
+    def with_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
+        """Return the same automaton over a (super-)alphabet."""
+        symbols = frozenset(alphabet) | self.alphabet
+        return NFA(self.states, symbols, self.transitions, self.initial, self.finals)
+
+    def restrict_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
+        """Return the automaton restricted to ``alphabet``.
+
+        Transitions on symbols outside the new alphabet are dropped, so the
+        resulting language is ``[A] ∩ alphabet*``.  This is what the schema
+        reduction of Definition 5 uses to purge removed element names from
+        content models.
+        """
+        symbols = frozenset(alphabet)
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        for src, label, dst in self.iter_transitions():
+            if label == EPSILON or label in symbols:
+                transitions.setdefault(src, {}).setdefault(label, set()).add(dst)
+        return NFA(self.states, symbols, transitions, self.initial, self.finals)
+
+    def rename_symbols(self, mapping: Mapping[Symbol, Symbol]) -> "NFA":
+        """Apply a letter-to-letter morphism to the automaton's labels.
+
+        Symbols not present in ``mapping`` are kept unchanged.  This is the
+        operation used to apply the specialisation mapping ``mu`` of SDTDs and
+        EDTDs to content models.
+        """
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        for src, label, dst in self.iter_transitions():
+            new_label = label if label == EPSILON else mapping.get(label, label)
+            transitions.setdefault(src, {}).setdefault(new_label, set()).add(dst)
+        alphabet = {mapping.get(sym, sym) for sym in self.alphabet}
+        return NFA(self.states, alphabet, transitions, self.initial, self.finals)
+
+    def remove_epsilon(self) -> "NFA":
+        """Return an equivalent automaton without epsilon transitions."""
+        if not self.has_epsilon_transitions():
+            return self
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        finals = set()
+        for state in self.states:
+            closure = self.epsilon_closure({state})
+            if closure & self.finals:
+                finals.add(state)
+            for mid in closure:
+                for label, dsts in self.transitions.get(mid, {}).items():
+                    if label == EPSILON:
+                        continue
+                    for dst in dsts:
+                        transitions.setdefault(state, {}).setdefault(label, set()).add(dst)
+        return NFA(self.states, self.alphabet, transitions, self.initial, finals)
+
+    def fragment(self, start: State, end: State) -> "NFA":
+        """The *local automaton* ``A(start, end)`` of Section 6.
+
+        It accepts exactly the strings labelling a path from ``start`` to
+        ``end`` in this automaton (the trimming of unreachable transitions
+        performed by the paper does not change the language and is applied
+        here via :meth:`trim` for faithfulness).
+        """
+        if start not in self.states or end not in self.states:
+            raise ValueError("fragment endpoints must be states of the automaton")
+        return NFA(self.states, self.alphabet, self.transitions, start, {end}).trim()
+
+    # ------------------------------------------------------------------ #
+    # language exploration
+    # ------------------------------------------------------------------ #
+
+    def is_empty_language(self) -> bool:
+        """Decide whether ``[A]`` is the empty language."""
+        return not (self.reachable_states() & self.finals)
+
+    def accepts_epsilon(self) -> bool:
+        return bool(self.epsilon_closure({self.initial}) & self.finals)
+
+    def enumerate_language(self, max_length: int) -> Iterator[Word]:
+        """Yield every accepted word of length at most ``max_length``.
+
+        Enumeration is breadth-first over subset-simulation states so that it
+        remains usable even when the alphabet is moderately large; it is the
+        brute-force oracle used by the property-based tests.
+        """
+        symbols = sorted(self.alphabet)
+        start = self.epsilon_closure({self.initial})
+        queue: deque[tuple[Word, frozenset[State]]] = deque([((), start)])
+        while queue:
+            word, current = queue.popleft()
+            if current & self.finals:
+                yield word
+            if len(word) >= max_length:
+                continue
+            for symbol in symbols:
+                nxt = self.step(current, symbol)
+                if nxt:
+                    queue.append((word + (symbol,), nxt))
+
+    def language_upto(self, max_length: int) -> frozenset[Word]:
+        """The set of accepted words of length at most ``max_length``."""
+        return frozenset(self.enumerate_language(max_length))
+
+    def shortest_word(self) -> Optional[Word]:
+        """Return a shortest accepted word, or ``None`` if the language is empty."""
+        start = self.epsilon_closure({self.initial})
+        queue: deque[tuple[Word, frozenset[State]]] = deque([((), start)])
+        seen = {start}
+        while queue:
+            word, current = queue.popleft()
+            if current & self.finals:
+                return word
+            for symbol in sorted(self.alphabet):
+                nxt = self.step(current, symbol)
+                if nxt and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((word + (symbol,), nxt))
+        return None
+
+    def used_symbols(self) -> frozenset[Symbol]:
+        """Symbols occurring on at least one transition of the trimmed automaton.
+
+        This is the "alphabet of the language" used, e.g., when building the
+        single-type closure of an EDTD or the ``kappa`` assignment of
+        Corollary 4.16.
+        """
+        trimmed = self.trim()
+        return frozenset(
+            label for _src, label, _dst in trimmed.iter_transitions() if label != EPSILON
+        )
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, word: str | Sequence[Symbol]) -> bool:
+        return self.accepts(word)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFA(states={len(self.states)}, transitions={self.transition_count()}, "
+            f"alphabet={sorted(self.alphabet)!r})"
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable description (used by the examples)."""
+        lines = [f"initial: {self.initial!r}", f"finals: {sorted(map(repr, self.finals))}"]
+        for src, label, dst in sorted(self.iter_transitions(), key=lambda t: (repr(t[0]), t[1], repr(t[2]))):
+            shown = label if label != EPSILON else "ε"
+            lines.append(f"  {src!r} --{shown}--> {dst!r}")
+        return "\n".join(lines)
+
+
+def product_words(parts: Sequence[Iterable[Word]]) -> Iterator[Word]:
+    """Concatenate one word from each part, in every possible way.
+
+    This realises the *direct extension* ``[(An)]`` of a sequence of
+    languages (Section 6) for finite fragments of the languages; it is used
+    by brute-force oracles in the tests.
+    """
+    for combination in itertools.product(*[list(p) for p in parts]):
+        word: Word = ()
+        for piece in combination:
+            word = word + tuple(piece)
+        yield word

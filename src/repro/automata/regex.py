@@ -1,0 +1,579 @@
+"""Regular expressions in the paper's notation (``nRE``, Section 2.1.2).
+
+The abstract syntax is exactly the paper's::
+
+    r ::= ε | ∅ | a | (r · r) | (r + r) | r? | r+ | r*
+
+Two concrete notations are supported by :func:`parse_regex`:
+
+* **character mode** (default) -- every alphanumeric character is a symbol,
+  which matches the paper's examples literally: ``"a*bc*"``, ``"(ab)+"``,
+  ``"ab + ba"``, ``"af?ba+"``.
+* **name mode** (``names=True``) -- symbols are identifiers, concatenation is
+  written with commas or whitespace, which matches DTD content models such
+  as ``"country, Good, (index | value, year)"``.
+
+In both modes union can be written ``|`` or binary ``+`` (the paper uses the
+latter); a ``+`` is parsed as the postfix "one or more" operator exactly when
+it is not followed by the start of another expression, which resolves the
+paper's overloading of ``+`` the way a human reader does.
+
+Two standard translations to automata are provided: Thompson's construction
+(:func:`regex_to_nfa`, linear-size, with epsilon transitions) and the
+Glushkov / position automaton (:func:`glushkov_nfa`, epsilon-free), the
+latter being the basis of the deterministic-expression test
+(:func:`is_deterministic_regex`, Brüggemann-Klein & Wood [11]).
+"""
+
+from __future__ import annotations
+
+import re as _re
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Optional, Union as TypingUnion
+
+from repro.errors import RegexSyntaxError
+from repro.automata.nfa import NFA, Symbol
+from repro.automata import operations as ops
+
+
+# --------------------------------------------------------------------------- #
+# abstract syntax
+# --------------------------------------------------------------------------- #
+
+
+class Regex:
+    """Base class of the regular-expression abstract syntax tree."""
+
+    def nullable(self) -> bool:
+        """Does the language contain the empty word?"""
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset[Symbol]:
+        """The set of symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def to_nfa(self) -> NFA:
+        """Thompson-style translation into an NFA."""
+        raise NotImplementedError
+
+    # The AST classes are dataclasses; equality and hashing are structural.
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The empty language ``∅``."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset()
+
+    def to_nfa(self) -> NFA:
+        return NFA.empty_language()
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset()
+
+    def to_nfa(self) -> NFA:
+        return NFA.epsilon_language()
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single alphabet symbol."""
+
+    name: Symbol
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset({self.name})
+
+    def to_nfa(self) -> NFA:
+        return NFA.symbol(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two or more expressions."""
+
+    parts: tuple[Regex, ...]
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def symbols(self) -> frozenset[Symbol]:
+        result: frozenset[Symbol] = frozenset()
+        for part in self.parts:
+            result |= part.symbols()
+        return result
+
+    def to_nfa(self) -> NFA:
+        return ops.concat(*[part.to_nfa() for part in self.parts])
+
+    def __str__(self) -> str:
+        rendered = []
+        for part in self.parts:
+            text = str(part)
+            if isinstance(part, Union):
+                text = f"({text})"
+            rendered.append(text)
+        return ", ".join(rendered)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union (the paper's ``r + r``, W3C's ``|``)."""
+
+    parts: tuple[Regex, ...]
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def symbols(self) -> frozenset[Symbol]:
+        result: frozenset[Symbol] = frozenset()
+        for part in self.parts:
+            result |= part.symbols()
+        return result
+
+    def to_nfa(self) -> NFA:
+        return ops.union(*[part.to_nfa() for part in self.parts])
+
+    def __str__(self) -> str:
+        return " | ".join(str(part) for part in self.parts)
+
+
+def _wrap(part: Regex) -> str:
+    text = str(part)
+    if isinstance(part, (Union, Concat)):
+        return f"({text})"
+    return text
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``r*``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[Symbol]:
+        return self.inner.symbols()
+
+    def to_nfa(self) -> NFA:
+        return ops.kleene_star(self.inner.to_nfa())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """One or more repetitions ``r+``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def symbols(self) -> frozenset[Symbol]:
+        return self.inner.symbols()
+
+    def to_nfa(self) -> NFA:
+        return ops.plus(self.inner.to_nfa())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True)
+class Opt(Regex):
+    """Zero or one occurrence ``r?``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[Symbol]:
+        return self.inner.symbols()
+
+    def to_nfa(self) -> NFA:
+        return ops.optional(self.inner.to_nfa())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+def concat_of(parts: Sequence[Regex]) -> Regex:
+    """Smart constructor flattening nested concatenations."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        elif isinstance(part, Epsilon):
+            continue
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union_of(parts: Sequence[Regex]) -> Regex:
+    """Smart constructor flattening nested unions."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Union):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EmptySet()
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+
+
+_NAME_TOKEN = _re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+_EPSILON_WORDS = {"ε", "eps", "epsilon", "#eps"}
+_EMPTY_WORDS = {"∅", "empty", "#empty"}
+_OPERATORS = set("()|+*?,")
+
+
+def _tokenize(text: str, names: bool) -> list[str]:
+    tokens: list[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _OPERATORS:
+            tokens.append(char)
+            index += 1
+            continue
+        if char in "ε∅":
+            tokens.append(char)
+            index += 1
+            continue
+        if names:
+            match = _NAME_TOKEN.match(text, index)
+            if match:
+                tokens.append(match.group(0))
+                index = match.end()
+                continue
+            if char == "#":
+                match = _re.compile(r"#\w+").match(text, index)
+                if match:
+                    tokens.append(match.group(0))
+                    index = match.end()
+                    continue
+            raise RegexSyntaxError(f"unexpected character {char!r} at position {index} in {text!r}")
+        if char.isalnum() or char == "#":
+            tokens.append(char)
+            index += 1
+            continue
+        raise RegexSyntaxError(f"unexpected character {char!r} at position {index} in {text!r}")
+    return tokens
+
+
+def _is_atom_start(token: Optional[str]) -> bool:
+    if token is None:
+        return False
+    if token in {"(",} or token in _EPSILON_WORDS or token in _EMPTY_WORDS:
+        return True
+    return token not in _OPERATORS
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[str], text: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._text = text
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        index = self._pos + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def pop(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise RegexSyntaxError(f"unexpected end of expression in {self._text!r}")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Regex:
+        if not self._tokens:
+            return Epsilon()
+        expr = self.parse_union()
+        if self.peek() is not None:
+            raise RegexSyntaxError(
+                f"unexpected token {self.peek()!r} at position {self._pos} in {self._text!r}"
+            )
+        return expr
+
+    def parse_union(self) -> Regex:
+        parts = [self.parse_concat()]
+        while self.peek() in {"|", "+"}:
+            self.pop()
+            parts.append(self.parse_concat())
+        return union_of(parts)
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while True:
+            token = self.peek()
+            if token == ",":
+                self.pop()
+                parts.append(self.parse_postfix())
+            elif _is_atom_start(token):
+                parts.append(self.parse_postfix())
+            else:
+                break
+        return concat_of(parts)
+
+    def parse_postfix(self) -> Regex:
+        expr = self.parse_atom()
+        while True:
+            token = self.peek()
+            if token == "*":
+                self.pop()
+                expr = Star(expr)
+            elif token == "?":
+                self.pop()
+                expr = Opt(expr)
+            elif token == "+" and not _is_atom_start(self.peek(1)):
+                self.pop()
+                expr = Plus(expr)
+            else:
+                break
+        return expr
+
+    def parse_atom(self) -> Regex:
+        token = self.pop()
+        if token == "(":
+            expr = self.parse_union()
+            closing = self.pop()
+            if closing != ")":
+                raise RegexSyntaxError(f"expected ')' but found {closing!r} in {self._text!r}")
+            return expr
+        if token in _EPSILON_WORDS:
+            return Epsilon()
+        if token in _EMPTY_WORDS:
+            return EmptySet()
+        if token in _OPERATORS:
+            raise RegexSyntaxError(f"unexpected operator {token!r} in {self._text!r}")
+        return Sym(token)
+
+
+def parse_regex(text: str, names: bool = False) -> Regex:
+    """Parse ``text`` into a :class:`Regex`.
+
+    >>> str(parse_regex("a*bc*"))
+    'a*, b, c*'
+    >>> str(parse_regex("ab + ba"))
+    'a, b | b, a'
+    >>> str(parse_regex("country, Good, (index | value, year)", names=True))
+    'country, Good, (index | value, year)'
+    """
+    # Treat the special PCDATA token of W3C DTDs as "leaf only" = epsilon.
+    cleaned = text.replace("#PCDATA", "ε")
+    tokens = _tokenize(cleaned, names)
+    return _Parser(tokens, text).parse()
+
+
+# --------------------------------------------------------------------------- #
+# translations to automata
+# --------------------------------------------------------------------------- #
+
+
+def regex_to_nfa(expression: TypingUnion[str, Regex], names: bool = False) -> NFA:
+    """Translate a regular expression (or its textual form) into an NFA."""
+    regex = parse_regex(expression, names=names) if isinstance(expression, str) else expression
+    return regex.to_nfa()
+
+
+def ensure_nfa(language: TypingUnion[str, Regex, NFA, "object"], names: bool = False) -> NFA:
+    """Coerce ``language`` into an :class:`NFA`.
+
+    Accepts automata (NFA/DFA), :class:`Regex` values and regular-expression
+    text.  This is the convenience layer used by the public API so that
+    examples can write content models as plain strings.
+    """
+    from repro.automata.dfa import DFA
+
+    if isinstance(language, NFA):
+        return language
+    if isinstance(language, DFA):
+        return language.to_nfa()
+    if isinstance(language, Regex):
+        return language.to_nfa()
+    if isinstance(language, str):
+        return regex_to_nfa(language, names=names)
+    raise TypeError(f"cannot interpret {language!r} as a regular language")
+
+
+# --------------------------------------------------------------------------- #
+# Glushkov (position) automaton and deterministic expressions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Linearised:
+    """First/last/follow data of the linearised (position-annotated) expression."""
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+    follow: dict[int, frozenset[int]]
+    symbol_of: dict[int, Symbol]
+
+
+def _linearise(regex: Regex, counter: Iterator[int]) -> _Linearised:
+    if isinstance(regex, EmptySet):
+        return _Linearised(False, frozenset(), frozenset(), {}, {})
+    if isinstance(regex, Epsilon):
+        return _Linearised(True, frozenset(), frozenset(), {}, {})
+    if isinstance(regex, Sym):
+        position = next(counter)
+        return _Linearised(False, frozenset({position}), frozenset({position}), {position: frozenset()}, {position: regex.name})
+    if isinstance(regex, Concat):
+        parts = [_linearise(part, counter) for part in regex.parts]
+        symbol_of: dict[int, Symbol] = {}
+        follow: dict[int, frozenset[int]] = {}
+        for part in parts:
+            symbol_of.update(part.symbol_of)
+            follow.update(part.follow)
+        nullable = all(part.nullable for part in parts)
+        first: set[int] = set()
+        for part in parts:
+            first |= part.first
+            if not part.nullable:
+                break
+        last: set[int] = set()
+        for part in reversed(parts):
+            last |= part.last
+            if not part.nullable:
+                break
+        # follow links across the concatenation: the last positions of each
+        # prefix connect to the first positions of the next non-skipped part.
+        for index in range(len(parts) - 1):
+            lasts: set[int] = set(parts[index].last)
+            # positions of earlier parts can also be "last of the prefix" when
+            # the parts in between are nullable
+            for back in range(index - 1, -1, -1):
+                if all(parts[k].nullable for k in range(back + 1, index + 1)):
+                    lasts |= parts[back].last
+                else:
+                    break
+            nexts = parts[index + 1].first
+            for position in lasts:
+                follow[position] = follow.get(position, frozenset()) | nexts
+        return _Linearised(nullable, frozenset(first), frozenset(last), follow, symbol_of)
+    if isinstance(regex, Union):
+        parts = [_linearise(part, counter) for part in regex.parts]
+        symbol_of = {}
+        follow = {}
+        first: set[int] = set()
+        last: set[int] = set()
+        for part in parts:
+            symbol_of.update(part.symbol_of)
+            follow.update(part.follow)
+            first |= part.first
+            last |= part.last
+        nullable = any(part.nullable for part in parts)
+        return _Linearised(nullable, frozenset(first), frozenset(last), follow, symbol_of)
+    if isinstance(regex, (Star, Plus)):
+        inner = _linearise(regex.inner, counter)
+        follow = dict(inner.follow)
+        for position in inner.last:
+            follow[position] = follow.get(position, frozenset()) | inner.first
+        nullable = True if isinstance(regex, Star) else inner.nullable
+        return _Linearised(nullable, inner.first, inner.last, follow, inner.symbol_of)
+    if isinstance(regex, Opt):
+        inner = _linearise(regex.inner, counter)
+        return _Linearised(True, inner.first, inner.last, dict(inner.follow), inner.symbol_of)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def _positions(regex: Regex) -> _Linearised:
+    counter = iter(range(1, 10**9))
+    return _linearise(regex, counter)
+
+
+def glushkov_nfa(expression: TypingUnion[str, Regex], names: bool = False) -> NFA:
+    """The Glushkov (position) automaton of the expression.
+
+    It is epsilon-free, has one state per symbol occurrence plus an initial
+    state, and is deterministic exactly when the expression is a ``dRE``.
+    """
+    regex = parse_regex(expression, names=names) if isinstance(expression, str) else expression
+    data = _positions(regex)
+    initial = 0
+    states = {initial} | set(data.symbol_of)
+    transitions: dict[int, dict[Symbol, set[int]]] = {}
+    for position in data.first:
+        transitions.setdefault(initial, {}).setdefault(data.symbol_of[position], set()).add(position)
+    for source, targets in data.follow.items():
+        for target in targets:
+            transitions.setdefault(source, {}).setdefault(data.symbol_of[target], set()).add(target)
+    finals = set(data.last)
+    if data.nullable:
+        finals.add(initial)
+    alphabet = set(data.symbol_of.values()) | regex.symbols()
+    return NFA(states, alphabet, transitions, initial, finals)
+
+
+def is_deterministic_regex(expression: TypingUnion[str, Regex], names: bool = False) -> bool:
+    """Is the expression a *deterministic* regular expression (a ``dRE``)?
+
+    Per Brüggemann-Klein & Wood, an expression is deterministic iff its
+    Glushkov automaton is deterministic, i.e. no state has two outgoing
+    transitions with the same symbol.
+    """
+    regex = parse_regex(expression, names=names) if isinstance(expression, str) else expression
+    if isinstance(regex, EmptySet):
+        return True
+    automaton = glushkov_nfa(regex)
+    for _state, row in automaton.transitions.items():
+        for _symbol, targets in row.items():
+            if len(targets) > 1:
+                return False
+    return True

@@ -1,0 +1,179 @@
+"""Conversion of automata back into regular expressions (state elimination).
+
+The library mostly manipulates automata, but designers read *expressions*:
+Figure 4 presents the perfect typing as DTD rules, and the examples print
+the typings they compute.  :func:`nfa_to_regex` implements the classical
+GNFA state-elimination algorithm together with light algebraic
+simplifications so that, e.g., the union of the legal local automata of
+Example 10 prints as ``(b, c)*, b?`` rather than as a transition table.
+
+The translation is exact (a property test checks that translating back gives
+an equivalent automaton) but not guaranteed to be minimal -- producing short
+expressions is a hard problem in itself (cf. the succinctness results of
+Proposition 3.6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.dfa import minimal_dfa
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+
+
+# --------------------------------------------------------------------------- #
+# smart constructors with light simplification
+# --------------------------------------------------------------------------- #
+
+
+def _is_empty(regex: Regex) -> bool:
+    return isinstance(regex, EmptySet)
+
+
+def _is_epsilon(regex: Regex) -> bool:
+    return isinstance(regex, Epsilon)
+
+
+def simplify_union(left: Regex, right: Regex) -> Regex:
+    """``left + right`` with the obvious identities applied."""
+    if _is_empty(left):
+        return right
+    if _is_empty(right):
+        return left
+    if left == right:
+        return left
+    # ε + r* = r*,  ε + r+ = r*,  ε + r? = r?
+    if _is_epsilon(left):
+        left, right = right, left
+    if _is_epsilon(right):
+        if isinstance(left, (Star, Opt)):
+            return left
+        if isinstance(left, Plus):
+            return Star(left.inner)
+        if left.nullable():
+            return left
+        return Opt(left)
+    parts: list[Regex] = []
+    for part in (left, right):
+        if isinstance(part, Union):
+            parts.extend(part.parts)
+        else:
+            parts.append(part)
+    unique: list[Regex] = []
+    for part in parts:
+        if part not in unique:
+            unique.append(part)
+    return unique[0] if len(unique) == 1 else Union(tuple(unique))
+
+
+def simplify_concat(left: Regex, right: Regex) -> Regex:
+    """``left · right`` with the obvious identities applied."""
+    if _is_empty(left) or _is_empty(right):
+        return EmptySet()
+    if _is_epsilon(left):
+        return right
+    if _is_epsilon(right):
+        return left
+    # r* · r = r · r* = r+
+    if isinstance(left, Star) and left.inner == right:
+        return Plus(right)
+    if isinstance(right, Star) and right.inner == left:
+        return Plus(left)
+    parts: list[Regex] = []
+    for part in (left, right):
+        if isinstance(part, Concat):
+            parts.extend(part.parts)
+        else:
+            parts.append(part)
+    return Concat(tuple(parts))
+
+
+def simplify_star(inner: Regex) -> Regex:
+    """``inner*`` with the obvious identities applied."""
+    if _is_empty(inner) or _is_epsilon(inner):
+        return Epsilon()
+    if isinstance(inner, (Star, Plus)):
+        return Star(inner.inner)
+    if isinstance(inner, Opt):
+        return Star(inner.inner)
+    return Star(inner)
+
+
+# --------------------------------------------------------------------------- #
+# state elimination
+# --------------------------------------------------------------------------- #
+
+
+def nfa_to_regex(nfa: NFA, canonical: bool = True) -> Regex:
+    """Translate an automaton into an equivalent regular expression.
+
+    With ``canonical=True`` (the default) the automaton is first minimised,
+    which usually yields noticeably shorter expressions.
+    """
+    source = minimal_dfa(nfa).to_nfa() if canonical else nfa.remove_epsilon().trim()
+    if source.is_empty_language():
+        return EmptySet()
+
+    start = "__gnfa_start__"
+    end = "__gnfa_end__"
+    # edges[(p, q)] = regex labelling the edge from p to q
+    edges: dict[tuple, Regex] = {}
+
+    def add_edge(src, dst, regex: Regex) -> None:
+        if (src, dst) in edges:
+            edges[(src, dst)] = simplify_union(edges[(src, dst)], regex)
+        else:
+            edges[(src, dst)] = regex
+
+    add_edge(start, source.initial, Epsilon())
+    for final in source.finals:
+        add_edge(final, end, Epsilon())
+    for src, label, dst in source.iter_transitions():
+        add_edge(src, dst, Epsilon() if label == EPSILON else Sym(label))
+
+    remaining = set(source.states)
+
+    def degree(state) -> int:
+        return sum(1 for (p, q) in edges if p == state or q == state)
+
+    while remaining:
+        # Eliminate low-degree states first; this keeps expressions small.
+        state = min(remaining, key=lambda s: (degree(s), repr(s)))
+        remaining.discard(state)
+        loop = edges.pop((state, state), EmptySet())
+        loop_star = simplify_star(loop) if not _is_empty(loop) else Epsilon()
+        incoming = [(p, regex) for (p, q), regex in edges.items() if q == state and p != state]
+        outgoing = [(q, regex) for (p, q), regex in edges.items() if p == state and q != state]
+        for p, _ in incoming:
+            edges.pop((p, state), None)
+        for q, _ in outgoing:
+            edges.pop((state, q), None)
+        for p, regex_in in incoming:
+            for q, regex_out in outgoing:
+                through = simplify_concat(simplify_concat(regex_in, loop_star), regex_out)
+                add_edge(p, q, through)
+
+    return edges.get((start, end), EmptySet())
+
+
+def nfa_to_regex_text(nfa: NFA, max_size: Optional[int] = None, canonical: bool = True) -> Optional[str]:
+    """A textual expression for ``[nfa]``, or ``None`` when the automaton is too large.
+
+    ``max_size`` bounds the size of the automaton that will be translated;
+    callers that only want a *readable* rendering (e.g. ``ContentModel``)
+    pass a small bound and fall back to another description otherwise.
+    """
+    if max_size is not None and nfa.size > max_size:
+        return None
+    return str(nfa_to_regex(nfa, canonical=canonical))

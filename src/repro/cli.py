@@ -1,0 +1,135 @@
+"""Command-line interface: analyse a distributed XML design from schema files.
+
+The CLI makes the library usable without writing Python, in the spirit of a
+designer's tool:
+
+* ``repro-design topdown --schema schema.dtd --kernel "eurostat(f1 f2)"`` —
+  propagate a global schema into local schemas (``∃-loc`` / ``∃-perf`` /
+  maximal local typings);
+* ``repro-design bottomup --kernel "s(f1 f2)" --type f1=t1.dtd --type f2=t2.dtd`` —
+  decide ``cons[S]`` for every schema language and print ``typeT(τn)``;
+* ``repro-design validate --schema schema.dtd --document doc.xml`` —
+  plain validation of an XML document.
+
+Schema files may use either the W3C ``<!ELEMENT ...>`` syntax or the paper's
+arrow notation (``name -> content``); see :mod:`repro.schemas.dtd_text`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.api import analyze_design, bottom_up_design, kernel, top_down_design
+from repro.errors import ReproError
+from repro.schemas.dtd_text import parse_dtd_text
+from repro.trees.term import parse_term
+from repro.trees.xml_io import tree_from_xml
+
+
+def _load_schema(path: str, start: Optional[str] = None):
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_dtd_text(text, start=start)
+
+
+def _load_document(path: str):
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.strip()
+    if stripped.startswith("<"):
+        return tree_from_xml(stripped)
+    return parse_term(stripped)
+
+
+def _add_common_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        required=True,
+        help="kernel document in term notation, e.g. \"eurostat(averages(f0) f1 f2)\"",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-design",
+        description="Analyse distributed XML designs (Abiteboul, Gottlob, Manna; PODS 2009).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topdown = subparsers.add_parser("topdown", help="propagate a global schema into local schemas")
+    topdown.add_argument("--schema", required=True, help="path to the global schema document")
+    topdown.add_argument("--start", help="root element (defaults to the first declared element)")
+    topdown.add_argument("--maximal", type=int, default=4, help="how many maximal local typings to list")
+    _add_common_kernel_argument(topdown)
+
+    bottomup = subparsers.add_parser("bottomup", help="decide cons[S] for local schemas")
+    _add_common_kernel_argument(bottomup)
+    bottomup.add_argument(
+        "--type",
+        action="append",
+        default=[],
+        metavar="FUNCTION=SCHEMA.dtd",
+        help="local schema of one resource (repeatable)",
+    )
+
+    validate = subparsers.add_parser("validate", help="validate a document against a schema")
+    validate.add_argument("--schema", required=True, help="path to the schema document")
+    validate.add_argument("--start", help="root element (defaults to the first declared element)")
+    validate.add_argument("--document", required=True, help="path to the document (XML or term notation)")
+
+    return parser
+
+
+def _run_topdown(args: argparse.Namespace) -> int:
+    target = _load_schema(args.schema, args.start)
+    design = top_down_design(target, kernel(args.kernel))
+    report = analyze_design(design, maximal_limit=args.maximal)
+    print(report.summary())
+    return 0 if report.has_local_typing else 1
+
+
+def _run_bottomup(args: argparse.Namespace) -> int:
+    if not args.type:
+        raise ReproError("at least one --type FUNCTION=SCHEMA assignment is required")
+    types = {}
+    for assignment in args.type:
+        if "=" not in assignment:
+            raise ReproError(f"cannot parse --type {assignment!r}; expected FUNCTION=SCHEMA-FILE")
+        function, path = assignment.split("=", 1)
+        types[function.strip()] = _load_schema(path.strip())
+    design = bottom_up_design(types, kernel(args.kernel))
+    report = analyze_design(design)
+    print(report.summary())
+    consistent = report.consistency.get("DTD")
+    if consistent is not None and consistent.consistent and consistent.result_type is not None:
+        print("\ntypeT(τn) as a DTD:")
+        print(consistent.result_type.describe())
+    return 0
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema, args.start)
+    document = _load_document(args.document)
+    error = schema.validation_error(document)
+    if error is None:
+        print("valid")
+        return 0
+    print(f"invalid: {error}")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-design`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"topdown": _run_topdown, "bottomup": _run_bottomup, "validate": _run_validate}
+    try:
+        return handlers[args.command](args)
+    except (ReproError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

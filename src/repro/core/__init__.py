@@ -1,0 +1,44 @@
+"""The paper's contribution: a theory of distributed XML design (Sections 2.3-7).
+
+The package is organised by the paper's own structure:
+
+* :mod:`repro.core.kernel` -- kernel documents ``T[f1..fn]`` and
+  materialisation (Section 2.3),
+* :mod:`repro.core.typing` -- typings and the comparison relations
+  ``≤ / < / ≡`` (Section 2.4),
+* :mod:`repro.core.design` -- bottom-up and top-down designs (Definition 10),
+* :mod:`repro.core.consistency` -- the ``T(τn)`` construction, ``cons[S]``
+  and ``typeT(τn)`` (Section 3, Table 2),
+* :mod:`repro.core.words` -- kernel strings, kernel boxes and the word-level
+  typing problems (Sections 2.3 and 5),
+* :mod:`repro.core.perfect` -- the perfect automaton ``Ω(A, w)``
+  (Algorithm 1), the decomposition ``Dec(Ωi)`` and every word/box-level
+  decision procedure built on them (Sections 6 and 7),
+* :mod:`repro.core.reduction` -- the reductions from trees to strings and
+  boxes (Section 4), including EDTD normalisation and ``κ`` assignments,
+* :mod:`repro.core.locality` -- verification problems ``loc / ml / perf [S]``,
+* :mod:`repro.core.existence` -- existence problems ``∃-loc / ∃-ml / ∃-perf [S]``
+  together with typing construction.
+"""
+
+from repro.core.kernel import KernelTree
+from repro.core.typing import TreeTyping, typing_compare
+from repro.core.design import BottomUpDesign, TopDownDesign
+from repro.core.consistency import ConsistencyResult, build_combined_type, check_consistency
+from repro.core.words import Box, KernelString, build_word_automaton
+from repro.core.perfect import PerfectAutomaton
+
+__all__ = [
+    "KernelTree",
+    "TreeTyping",
+    "typing_compare",
+    "BottomUpDesign",
+    "TopDownDesign",
+    "ConsistencyResult",
+    "build_combined_type",
+    "check_consistency",
+    "Box",
+    "KernelString",
+    "build_word_automaton",
+    "PerfectAutomaton",
+]

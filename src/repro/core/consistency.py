@@ -1,0 +1,262 @@
+"""Bottom-up design: ``T(τn)``, ``cons[S]`` and ``typeT(τn)`` (Section 3, Table 2).
+
+Given a kernel ``T(fn)`` and a typing ``(τn)``, the construction of
+Section 3.1 produces an nFA-EDTD ``T(τn)`` with ``[T(τn)] = extT(τn)``
+(Theorem 3.2), in time and size linear in the input (Proposition 3.1).
+
+The consistency problem ``cons[S]`` then asks whether ``extT(τn)`` is
+definable in the schema language ``S`` of the typing:
+
+* for **EDTDs** the answer is always *yes* (Corollary 3.3) and
+  ``typeT(τn) = T(τn)``;
+* for **SDTDs** the language must be closed under ancestor-guarded subtree
+  exchange (Lemma 3.5); this is decided by building the single-type closure
+  and testing language equality (equivalent to the merging procedure of
+  Theorem 3.10);
+* for **DTDs** the language must be closed under subtree substitution
+  (Lemma 3.12); decided with the DTD closure (Theorem 3.13);
+* for the deterministic-expression formalism ``dRE`` the content models of
+  the resulting type must additionally be one-unambiguous (the
+  ``one-unamb[nRE]`` oracle of Theorems 3.10/3.13 case 3).
+
+The worst-case sizes of ``typeT(τn)`` reported in Table 2 are exposed via
+:func:`schema_size_under`, which measures a schema under a given content-
+model formalism (the ``dFA`` rows are where the exponential blow-ups show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import DesignError
+from repro.automata import operations as ops
+from repro.automata.determinism import is_one_unambiguous
+from repro.automata.nfa import NFA
+from repro.schemas.closures import dtd_closure, single_type_closure
+from repro.schemas.compare import schema_includes, schema_inclusion_counterexample
+from repro.schemas.content_model import ContentModel, Formalism
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.schemas.sdtd import SDTD
+from repro.core.kernel import KernelTree
+from repro.core.typing import SchemaType, TreeTyping
+from repro.trees.document import Tree
+
+
+def _as_edtd(schema: SchemaType) -> EDTD:
+    """View any schema as an EDTD (Section 3.3 for DTDs; SDTDs are EDTDs already)."""
+    if isinstance(schema, EDTD):
+        return schema
+    if isinstance(schema, DTD):
+        rules = {name: model for name, model in schema.rules.items()}
+        return EDTD(schema.start, rules, mu=None, formalism=schema.formalism, alphabet=schema.alphabet)
+    raise DesignError(f"cannot interpret {schema!r} as a type")
+
+
+def _prefixed(edtd: EDTD, prefix: str) -> tuple[dict[str, NFA], dict[str, str], str]:
+    """Rename the specialised names of ``edtd`` with a per-function prefix.
+
+    Returns ``(content models over prefixed names, mu over prefixed names,
+    prefixed start)``.  The renaming implements the disjointness assumption
+    ``Σ~i ∩ Σ~j = ∅`` of Section 3.1.
+    """
+    renaming = {name: f"{prefix}{name}" for name in edtd.specialized_names}
+    contents = {
+        renaming[name]: edtd.content(name).nfa.rename_symbols(renaming)
+        for name in edtd.specialized_names
+    }
+    mu = {renaming[name]: edtd.mu[name] for name in edtd.specialized_names}
+    return contents, mu, renaming[edtd.start]
+
+
+def witness_name(label: str, path: tuple[int, ...]) -> str:
+    """The fresh specialised name ``a~x`` given to the kernel node ``x`` (Section 3.1)."""
+    suffix = ".".join(str(index) for index in path) if path else "ε"
+    return f"{label}@{suffix}"
+
+
+def build_combined_type(kernel: KernelTree, typing: TreeTyping) -> EDTD:
+    """The nFA-EDTD ``T(τn)`` of Definition 9, built as in Section 3.1.
+
+    Its language is exactly ``extT(τn)`` (Theorem 3.2); its size is linear in
+    the size of the kernel plus the typing (Proposition 3.1).
+    """
+    if not typing.covers(kernel.functions):
+        raise DesignError("the typing does not cover every function of the kernel")
+
+    rules: dict[str, ContentModel] = {}
+    mu: dict[str, str] = {}
+    root_contents: dict[str, NFA] = {}
+
+    for function in kernel.functions:
+        schema = _as_edtd(typing[function])
+        contents, local_mu, start = _prefixed(schema, f"{function}::")
+        # The dedicated root name s_i labels only the root of the returned
+        # documents; it must not occur inside the type's own content models.
+        for name, nfa in contents.items():
+            if start in nfa.used_symbols():
+                raise DesignError(
+                    f"the type of {function!r} uses its root element {schema.start!r} below the root; "
+                    "types of resources must have a dedicated root element (Section 2.3)"
+                )
+        root_contents[function] = contents.pop(start)
+        local_mu.pop(start)
+        for name, nfa in contents.items():
+            rules[name] = ContentModel(nfa, Formalism.NFA, check=False)
+        mu.update(local_mu)
+
+    for path in kernel.element_paths():
+        node = kernel.tree.subtree(path)
+        name = witness_name(node.label, path)
+        mu[name] = node.label
+        pieces: list[NFA] = []
+        for index, child in enumerate(node.children):
+            if kernel.is_function(child.label):
+                pieces.append(root_contents[child.label])
+            else:
+                pieces.append(NFA.symbol(witness_name(child.label, path + (index,))))
+        if pieces:
+            rules[name] = ContentModel(ops.concat_all(pieces), Formalism.NFA, check=False)
+        else:
+            rules[name] = ContentModel(NFA.epsilon_language(), Formalism.NFA, check=False)
+
+    start_name = witness_name(kernel.tree.label, ())
+    return EDTD(start_name, rules, mu, Formalism.NFA)
+
+
+# --------------------------------------------------------------------------- #
+# cons[S]
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ConsistencyResult:
+    """The outcome of ``cons[S]`` for a bottom-up design.
+
+    Attributes
+    ----------
+    consistent:
+        Whether ``extT(τn)`` is definable in the requested schema language
+        (and formalism).
+    schema_language, formalism:
+        The ``S`` and ``R`` the question was asked for.
+    combined_type:
+        The nFA-EDTD ``T(τn)``.
+    result_type:
+        ``typeT(τn)`` when it exists (the combined type for EDTDs, the
+        relevant closure for SDTDs/DTDs), otherwise ``None``.
+    counterexample:
+        When inconsistent because of a closure mismatch: a tree accepted by
+        the closure but not by ``T(τn)`` (a witness of the violated closure
+        property).
+    reason:
+        A human-readable explanation.
+    """
+
+    consistent: bool
+    schema_language: str
+    formalism: Formalism
+    combined_type: EDTD
+    result_type: Optional[Union[DTD, SDTD, EDTD]]
+    counterexample: Optional[Tree]
+    reason: str
+
+    @property
+    def type_size(self) -> Optional[int]:
+        """Size of ``typeT(τn)`` under the requested formalism (Table 2's measure)."""
+        if self.result_type is None:
+            return None
+        return schema_size_under(self.result_type, self.formalism)
+
+
+def _content_models_of(schema: Union[DTD, SDTD, EDTD]) -> dict[str, ContentModel]:
+    if isinstance(schema, EDTD):
+        return {name: schema.content(name) for name in schema.specialized_names}
+    return {name: schema.content(name) for name in schema.alphabet}
+
+
+def schema_size_under(schema: Union[DTD, SDTD, EDTD], formalism: Formalism | str) -> int:
+    """The size of a schema when its content models are written in ``formalism``.
+
+    ``nFA``/``nRE`` use the sizes of the stored automata; ``dFA`` and ``dRE``
+    use minimal-DFA sizes (for ``dRE`` this is a lower bound on the
+    expression size -- the paper leaves the exact bound open, Corollary 3.7).
+    """
+    formalism = Formalism(formalism)
+    models = _content_models_of(schema)
+    if formalism in (Formalism.NFA, Formalism.NRE):
+        total = sum(model.nfa.size for model in models.values())
+    else:
+        total = sum(model.to_dfa().size for model in models.values())
+    return total + len(models)
+
+
+def check_consistency(
+    kernel: KernelTree,
+    typing: TreeTyping,
+    schema_language: str = "EDTD",
+    formalism: Formalism | str = Formalism.NFA,
+) -> ConsistencyResult:
+    """Solve ``cons[S]`` and construct ``typeT(τn)`` when it exists (Section 3)."""
+    formalism = Formalism(formalism)
+    language = schema_language.upper().replace("-", "")
+    combined = build_combined_type(kernel, typing)
+
+    if language == "EDTD":
+        return ConsistencyResult(
+            consistent=True,
+            schema_language="EDTD",
+            formalism=formalism,
+            combined_type=combined,
+            result_type=combined,
+            counterexample=None,
+            reason="cons[R-EDTD] always holds: T(τn) is itself an R-EDTD (Corollary 3.3)",
+        )
+
+    if language == "SDTD":
+        closure: Union[SDTD, DTD] = single_type_closure(combined)
+        property_name = "ancestor-guarded subtree exchange (Lemma 3.5)"
+    elif language == "DTD":
+        closure = dtd_closure(combined)
+        property_name = "subtree substitution (Lemma 3.12)"
+    else:
+        raise DesignError(f"unknown schema language {schema_language!r}")
+
+    witness = schema_inclusion_counterexample(closure, combined)
+    if witness is not None:
+        return ConsistencyResult(
+            consistent=False,
+            schema_language=language,
+            formalism=formalism,
+            combined_type=combined,
+            result_type=None,
+            counterexample=witness,
+            reason=f"extT(τn) is not closed under {property_name}",
+        )
+
+    if formalism == Formalism.DRE:
+        for name, model in _content_models_of(closure).items():
+            if not is_one_unambiguous(model.nfa):
+                return ConsistencyResult(
+                    consistent=False,
+                    schema_language=language,
+                    formalism=formalism,
+                    combined_type=combined,
+                    result_type=None,
+                    counterexample=None,
+                    reason=(
+                        f"the required content model of {name!r} is not one-unambiguous, "
+                        "so no dRE schema exists (Theorem 3.10/3.13, case 3)"
+                    ),
+                )
+
+    return ConsistencyResult(
+        consistent=True,
+        schema_language=language,
+        formalism=formalism,
+        combined_type=combined,
+        result_type=closure,
+        counterexample=None,
+        reason=f"extT(τn) is closed under {property_name}; typeT(τn) is the closure",
+    )

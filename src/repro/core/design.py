@@ -1,0 +1,116 @@
+"""Distributed designs (Definition 10).
+
+A *design* pairs a kernel document with either a typing (bottom-up) or a
+target global type (top-down).  The classes here are thin value objects; the
+algorithms live in :mod:`repro.core.consistency` (bottom-up) and
+:mod:`repro.core.locality` / :mod:`repro.core.existence` (top-down), and are
+also reachable as methods for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.errors import DesignError
+from repro.core.kernel import KernelTree
+from repro.core.typing import SchemaType, TreeTyping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.consistency import ConsistencyResult
+
+
+@dataclass(frozen=True)
+class BottomUpDesign:
+    """A bottom-up design ``D = <(τn), T[f1..fn]>``."""
+
+    typing: TreeTyping
+    kernel: KernelTree
+
+    def __post_init__(self) -> None:
+        missing = set(self.kernel.functions) - set(self.typing.types)
+        if missing:
+            raise DesignError(f"the typing misses types for functions {sorted(missing)!r}")
+
+    def combined_type(self):
+        """The nFA-EDTD ``T(τn)`` of Definition 9 (built by Proposition 3.1)."""
+        from repro.core.consistency import build_combined_type
+
+        return build_combined_type(self.kernel, self.typing)
+
+    def consistency(self, schema_language: str = "EDTD", formalism: str = "nFA") -> "ConsistencyResult":
+        """Solve ``cons[S]`` for this design (Section 3)."""
+        from repro.core.consistency import check_consistency
+
+        return check_consistency(self.kernel, self.typing, schema_language, formalism)
+
+
+@dataclass(frozen=True)
+class TopDownDesign:
+    """A top-down design ``D = <τ, T[f1..fn]>``."""
+
+    target: SchemaType
+    kernel: KernelTree
+
+    @property
+    def schema_language(self) -> str:
+        """Which schema language ``S`` the target type belongs to (DTD/SDTD/EDTD)."""
+        return type(self.target).schema_language
+
+    # The verification problems (Definition 13). ------------------------- #
+
+    def is_sound(self, typing: TreeTyping) -> bool:
+        from repro.core.locality import is_sound
+
+        return is_sound(self, typing)
+
+    def is_complete(self, typing: TreeTyping) -> bool:
+        from repro.core.locality import is_complete
+
+        return is_complete(self, typing)
+
+    def is_local(self, typing: TreeTyping) -> bool:
+        from repro.core.locality import is_local
+
+        return is_local(self, typing)
+
+    def is_maximal_local(self, typing: TreeTyping) -> bool:
+        from repro.core.locality import is_maximal_local
+
+        return is_maximal_local(self, typing)
+
+    def is_perfect(self, typing: TreeTyping) -> bool:
+        from repro.core.locality import is_perfect
+
+        return is_perfect(self, typing)
+
+    # The existence problems (Definition 14). ---------------------------- #
+
+    def find_local_typing(self) -> Optional[TreeTyping]:
+        from repro.core.existence import find_local_typing
+
+        return find_local_typing(self)
+
+    def find_maximal_local_typings(self, limit: int = 16) -> list[TreeTyping]:
+        from repro.core.existence import find_maximal_local_typings
+
+        return find_maximal_local_typings(self, limit=limit)
+
+    def find_perfect_typing(self) -> Optional[TreeTyping]:
+        from repro.core.existence import find_perfect_typing
+
+        return find_perfect_typing(self)
+
+    def exists_local_typing(self) -> bool:
+        return self.find_local_typing() is not None
+
+    def exists_maximal_local_typing(self) -> bool:
+        from repro.core.existence import exists_maximal_local_typing
+
+        return exists_maximal_local_typing(self)
+
+    def exists_perfect_typing(self) -> bool:
+        return self.find_perfect_typing() is not None
+
+
+Design = Union[BottomUpDesign, TopDownDesign]

@@ -1,0 +1,279 @@
+"""Existence problems for top-down designs: ``∃-loc``, ``∃-ml``, ``∃-perf`` (Definition 14).
+
+These are the constructive versions of the problems: besides deciding
+existence they build the typings, in the shape the paper's Theorems 4.2 and
+4.5 prescribe -- each component contains *all* rules of the global type plus
+one extra rule typing its dedicated root element with the word-level
+solution of the corresponding induced word (or box) design.
+
+For EDTD targets the type is normalised first (Section 4.3); local / maximal
+typings are searched by enumerating the ``κ`` assignments of Definition 19
+(Corollary 4.14), and perfect typings use the deterministic ``κ``
+construction of Corollary 4.16.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from typing import Callable, Optional
+
+from repro.errors import DesignError, SearchBudgetExceeded
+from repro.automata.nfa import NFA
+from repro.schemas.content_model import ContentModel, Formalism
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD, NormalizedEDTD
+from repro.schemas.sdtd import SDTD
+from repro.core.design import TopDownDesign
+from repro.core.perfect import (
+    word_all_maximal_local_typings,
+    word_find_local_typing,
+    word_find_perfect_typing,
+)
+from repro.core.reduction import (
+    InducedWordDesign,
+    enumerate_kappas,
+    induced_box_designs_edtd,
+    induced_word_designs_dtd,
+    induced_word_designs_sdtd,
+    normalized_target,
+    perfect_kappa,
+)
+from repro.core.typing import TreeTyping, default_root_name
+
+
+# --------------------------------------------------------------------------- #
+# typing assembly (the constructions in the proofs of Theorems 4.2 and 4.5)
+# --------------------------------------------------------------------------- #
+
+
+def _assemble_dtd_typing(design: TopDownDesign, components: dict[str, NFA]) -> TreeTyping:
+    """Build the DTD typing of Theorem 4.2 from per-function word types."""
+    target: DTD = design.target
+    types = {}
+    for function, content in components.items():
+        root = default_root_name(function)
+        rules = dict(target.rules)
+        rules[root] = ContentModel(content, Formalism.NFA, check=False)
+        types[function] = DTD(root, rules, target.formalism, alphabet=target.alphabet)
+    return TreeTyping(types)
+
+
+def _assemble_sdtd_typing(design: TopDownDesign, components: dict[str, NFA]) -> TreeTyping:
+    """Build the SDTD typing of Theorem 4.5 (word types are over specialised names)."""
+    target: SDTD = design.target
+    types = {}
+    for function, content in components.items():
+        root = default_root_name(function)
+        rules = dict(target.rules)
+        rules[root] = ContentModel(content, Formalism.NFA, check=False)
+        mu = dict(target.mu)
+        mu[root] = root
+        types[function] = SDTD(root, rules, mu, target.formalism)
+    return TreeTyping(types)
+
+
+def _assemble_edtd_typing(
+    design: TopDownDesign, normalized: NormalizedEDTD, components: dict[str, NFA]
+) -> TreeTyping:
+    """Build an EDTD typing whose components speak the normalised names."""
+    types = {}
+    for function, content in components.items():
+        root = default_root_name(function)
+        rules = {name: ContentModel(nfa, Formalism.NFA, check=False) for name, nfa in normalized.content.items()}
+        rules[root] = ContentModel(content, Formalism.NFA, check=False)
+        mu = dict(normalized.element_of)
+        mu[root] = root
+        types[function] = EDTD(root, rules, mu, Formalism.NFA)
+    return TreeTyping(types)
+
+
+def _assembler(design: TopDownDesign, normalized: Optional[NormalizedEDTD]) -> Callable:
+    language = design.schema_language
+    if language == "DTD":
+        return lambda components: _assemble_dtd_typing(design, components)
+    if language == "SDTD":
+        return lambda components: _assemble_sdtd_typing(design, components)
+    return lambda components: _assemble_edtd_typing(design, normalized, components)
+
+
+# --------------------------------------------------------------------------- #
+# per-node solving helpers
+# --------------------------------------------------------------------------- #
+
+
+def _solve_nodes(
+    word_designs: Sequence[InducedWordDesign],
+    solver: Callable[[InducedWordDesign], Optional[Sequence[NFA]]],
+) -> Optional[dict[str, NFA]]:
+    """Solve every induced design; return the per-function word types or ``None``."""
+    components: dict[str, NFA] = {}
+    for word_design in word_designs:
+        solution = solver(word_design)
+        if solution is None:
+            return None
+        for function, component in zip(word_design.functions, solution):
+            components[function] = component
+    return components
+
+
+def _induced_designs(design: TopDownDesign) -> Optional[tuple[list[InducedWordDesign], Optional[NormalizedEDTD]]]:
+    """The per-node designs for DTD / SDTD targets (EDTDs are handled separately)."""
+    language = design.schema_language
+    if language == "DTD":
+        return induced_word_designs_dtd(design), None
+    if language == "SDTD":
+        word_designs = induced_word_designs_sdtd(design)
+        if word_designs is None:
+            return None
+        return word_designs, None
+    raise DesignError("EDTD designs are reduced through κ assignments, not plain word designs")
+
+
+# --------------------------------------------------------------------------- #
+# ∃-loc and ∃-perf
+# --------------------------------------------------------------------------- #
+
+
+def find_local_typing(design: TopDownDesign) -> Optional[TreeTyping]:
+    """``∃-loc[S]``: construct a local typing, or return ``None`` (Theorems 4.2/4.5/4.13)."""
+    return _find_typing(design, word_find_local_typing)
+
+
+def find_perfect_typing(design: TopDownDesign) -> Optional[TreeTyping]:
+    """``∃-perf[S]``: construct the perfect typing, or return ``None`` (Theorems 4.15/6.5)."""
+    return _find_typing(design, word_find_perfect_typing, perfect=True)
+
+
+def _find_typing(
+    design: TopDownDesign,
+    word_solver: Callable,
+    perfect: bool = False,
+) -> Optional[TreeTyping]:
+    language = design.schema_language
+    if language in ("DTD", "SDTD"):
+        induced = _induced_designs(design)
+        if induced is None:
+            return None
+        word_designs, _ = induced
+        components = _solve_nodes(word_designs, lambda d: word_solver(d.target, d.kernel))
+        if components is None:
+            return None
+        return _assembler(design, None)(components)
+
+    # EDTD designs: normalise and work through κ assignments.
+    normalized = normalized_target(design)
+    if perfect:
+        kappa = perfect_kappa(design, normalized)
+        if kappa is None:
+            return None
+        kappas = [kappa]
+    else:
+        kappas = enumerate_kappas(design, normalized)
+    for kappa in kappas:
+        box_designs = induced_box_designs_edtd(design, normalized, kappa)
+        components = _solve_nodes(box_designs, lambda d: word_solver(d.target, d.kernel))
+        if components is not None:
+            return _assembler(design, normalized)(components)
+    return None
+
+
+def exists_local_typing(design: TopDownDesign) -> bool:
+    return find_local_typing(design) is not None
+
+
+def exists_perfect_typing(design: TopDownDesign) -> bool:
+    return find_perfect_typing(design) is not None
+
+
+# --------------------------------------------------------------------------- #
+# ∃-ml and the enumeration of maximal local typings
+# --------------------------------------------------------------------------- #
+
+
+def exists_maximal_local_typing(design: TopDownDesign) -> bool:
+    """``∃-ml[S]``: for nFA content models a maximal local typing exists iff a local one does."""
+    return exists_local_typing(design)
+
+
+def find_maximal_local_typing(design: TopDownDesign) -> Optional[TreeTyping]:
+    """Return some maximal local typing (the first of :func:`find_maximal_local_typings`)."""
+    typings = find_maximal_local_typings(design, limit=1)
+    return typings[0] if typings else None
+
+
+def find_maximal_local_typings(
+    design: TopDownDesign,
+    limit: int = 16,
+    max_combinations: int = 512,
+) -> list[TreeTyping]:
+    """All maximal local typings of the design, up to equivalence (bounded).
+
+    Per-node maximal word typings are enumerated with the decomposition
+    machinery of Section 6.1 and combined across nodes (the reductions of
+    Section 4 make the nodes independent); for EDTD designs the combination
+    additionally ranges over the ``κ`` assignments of Definition 19 and the
+    resulting typings are compared globally, keeping only the undominated
+    ones (Example 8 shows different ``κ`` may yield incomparable maximal
+    typings).  ``limit`` bounds the number of returned typings,
+    ``max_combinations`` bounds the search.
+    """
+    language = design.schema_language
+    assembled: list[TreeTyping] = []
+
+    def node_solutions(word_designs: Sequence[InducedWordDesign]) -> Optional[list[list[Sequence[NFA]]]]:
+        per_node: list[list[Sequence[NFA]]] = []
+        for word_design in word_designs:
+            if not word_design.has_functions:
+                # Nodes without functions admit only the empty word typing,
+                # which must itself be local for any typing to exist.
+                if word_find_local_typing(word_design.target, word_design.kernel) is None:
+                    return None
+                per_node.append([()])
+                continue
+            typings = word_all_maximal_local_typings(word_design.target, word_design.kernel)
+            if not typings:
+                return None
+            per_node.append(typings)
+        return per_node
+
+    def combine(word_designs: Sequence[InducedWordDesign], normalized: Optional[NormalizedEDTD]) -> None:
+        per_node = node_solutions(word_designs)
+        if per_node is None:
+            return
+        total = 1
+        for choices in per_node:
+            total *= len(choices)
+        if total > max_combinations:
+            raise SearchBudgetExceeded(
+                f"{total} combinations of per-node maximal typings exceed the budget {max_combinations}"
+            )
+        for combination in itertools.product(*per_node):
+            components: dict[str, NFA] = {}
+            for word_design, choice in zip(word_designs, combination):
+                for function, component in zip(word_design.functions, choice):
+                    components[function] = component
+            assembled.append(_assembler(design, normalized)(components))
+
+    if language in ("DTD", "SDTD"):
+        induced = _induced_designs(design)
+        if induced is None:
+            return []
+        combine(induced[0], None)
+    else:
+        normalized = normalized_target(design)
+        for kappa in enumerate_kappas(design, normalized):
+            box_designs = induced_box_designs_edtd(design, normalized, kappa)
+            combine(box_designs, normalized)
+
+    # Keep only undominated typings, deduplicated up to equivalence.
+    maximal: list[TreeTyping] = []
+    for candidate in assembled:
+        if any(candidate.smaller(other) for other in assembled):
+            continue
+        if any(candidate.equivalent_to(existing) for existing in maximal):
+            continue
+        maximal.append(candidate)
+        if len(maximal) >= limit:
+            break
+    return maximal

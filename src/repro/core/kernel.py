@@ -1,0 +1,158 @@
+"""Kernel documents ``T[f1..fn]`` and materialisation (Section 2.3).
+
+A kernel document is a tree over ``Sigma ∪ Sigma_f`` where
+
+(i)   the root is an element node,
+(ii)  every function node is a leaf, and
+(iii) no function symbol occurs more than once (this keeps every extension a
+      regular tree language -- see the ``s(f f)`` counter-example in the
+      paper).
+
+Materialisation (*the extension* ``extT(t1..tn)``) replaces each function
+node by the forest directly connected to the root of the document returned
+by the corresponding resource.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Optional
+
+from repro.errors import KernelError
+from repro.trees.document import Path, Tree
+from repro.trees.term import parse_term
+
+#: Function symbols are auto-detected with this pattern when no explicit set
+#: of function symbols is provided (the paper writes f1, f2, ..., g, ...).
+_DEFAULT_FUNCTION_PATTERN = re.compile(r"^f\d*$|^g\d+$")
+
+
+class KernelTree:
+    """A kernel document: a tree whose function leaves are docking points.
+
+    Parameters
+    ----------
+    tree:
+        The kernel tree, either a :class:`~repro.trees.document.Tree` or term
+        notation text (``"s0(a f1 b(f2))"``).
+    functions:
+        The function symbols.  When omitted, labels matching ``f``, ``f<k>``
+        or ``g<k>`` are treated as functions, which matches the paper's
+        notation.
+    """
+
+    def __init__(self, tree: Tree | str, functions: Optional[Iterable[str]] = None) -> None:
+        self.tree = parse_term(tree) if isinstance(tree, str) else tree
+        if functions is None:
+            detected = [
+                node.label
+                for _path, node in self.tree.nodes()
+                if _DEFAULT_FUNCTION_PATTERN.match(node.label)
+            ]
+            function_set = set(detected)
+        else:
+            function_set = set(functions)
+        self._function_paths: dict[str, Path] = {}
+        order: list[str] = []
+        for path, node in self.tree.nodes():
+            if node.label in function_set:
+                if node.label in self._function_paths:
+                    raise KernelError(
+                        f"function symbol {node.label!r} occurs more than once (requirement (iii))"
+                    )
+                if not node.is_leaf:
+                    raise KernelError(f"function node {node.label!r} is not a leaf (requirement (ii))")
+                self._function_paths[node.label] = path
+                order.append(node.label)
+        missing = function_set - set(self._function_paths)
+        if missing:
+            raise KernelError(f"declared functions {sorted(missing)!r} do not occur in the kernel")
+        if self.tree.label in self._function_paths:
+            raise KernelError("the root of a kernel must be an element node (requirement (i))")
+        self.functions: tuple[str, ...] = tuple(order)
+
+    # ------------------------------------------------------------------ #
+    # simple accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def element_alphabet(self) -> frozenset[str]:
+        """``Sigma_0``: the element names occurring in the kernel."""
+        return frozenset(
+            node.label for _path, node in self.tree.nodes() if node.label not in self._function_paths
+        )
+
+    @property
+    def function_count(self) -> int:
+        return len(self.functions)
+
+    @property
+    def size(self) -> int:
+        return self.tree.size
+
+    def is_function(self, label: str) -> bool:
+        return label in self._function_paths
+
+    def function_path(self, function: str) -> Path:
+        """The path of the (unique) node referring to ``function``."""
+        try:
+            return self._function_paths[function]
+        except KeyError as error:
+            raise KernelError(f"{function!r} is not a function of this kernel") from error
+
+    def function_parent(self, function: str) -> Path:
+        """The path of the element node under which ``function`` docks."""
+        return self.function_path(function)[:-1]
+
+    def element_paths(self) -> list[Path]:
+        """Paths of all element (non-function) nodes in document order."""
+        return [
+            path for path, node in self.tree.nodes() if node.label not in self._function_paths
+        ]
+
+    def child_labels(self, path: Path) -> tuple[str, ...]:
+        """The children string of the node at ``path`` (functions keep their names)."""
+        return self.tree.child_str(path)
+
+    def functions_under(self, path: Path) -> tuple[str, ...]:
+        """The functions occurring directly below the node at ``path``, in order."""
+        return tuple(label for label in self.child_labels(path) if self.is_function(label))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelTree({str(self.tree)!r}, functions={list(self.functions)!r})"
+
+    def __str__(self) -> str:
+        return str(self.tree)
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+
+    def extension(self, assignment: Mapping[str, Tree]) -> Tree:
+        """The extension ``extT(t1..tn)``.
+
+        ``assignment`` maps each function symbol to the document returned by
+        the corresponding resource; the *forest directly connected to its
+        root* replaces the function node.  Every function must be assigned.
+        """
+        forests = {}
+        for function in self.functions:
+            if function not in assignment:
+                raise KernelError(f"no document supplied for function {function!r}")
+            forests[function] = assignment[function].children
+        return self.extension_from_forests(forests)
+
+    def extension_from_forests(self, forests: Mapping[str, Sequence[Tree]]) -> Tree:
+        """Like :meth:`extension` but the forests are given directly."""
+        result = self.tree
+        # Replace right-to-left (reverse document order) so earlier paths stay valid.
+        for function in reversed(self.functions):
+            path = self._function_paths[function]
+            forest = tuple(forests.get(function, ()))
+            result = result.splice(path, forest)
+        return result
+
+    def skeleton(self) -> Tree:
+        """The kernel with every function node removed (the empty extension)."""
+        return self.extension_from_forests({})

@@ -1,0 +1,439 @@
+"""The perfect automaton ``Ω(A, w)`` and the word/box decision procedures (Sections 6-7).
+
+Given a target nFA ``A`` and a kernel string (or box) ``w(fn)``, the perfect
+automaton construction (Algorithm 1) assembles, for each gap ``i`` between
+the fixed segments, the set ``Aut(Ωi)`` of *legal local automata*
+``A(p, q)``: fragments of ``A`` whose start state ``p`` is reachable from
+the initial state through ``w0 Σ* w1 ... w(i-1)`` and whose end state ``q``
+co-reaches a final state through ``wi Σ* ... wn``.  The union ``Ωi`` of
+those fragments is the largest language a sound typing can give to function
+``fi`` (Theorem 6.3), and
+
+* a **perfect** typing exists iff ``w(Ωn) ≡ A`` (Theorem 6.5), in which case
+  it is exactly ``(Ωn)``;
+* a given local typing is **maximal** iff no cell of the decomposition
+  ``Dec(Ωi)`` extends a component while preserving soundness (Lemma 6.9,
+  Theorems 6.10 and 7.1);
+* the existence problems ``∃-loc`` / ``∃-ml`` reduce to searching typings
+  whose components are unions of ``Dec(Ωi)`` cells (Theorem 6.11).
+
+The same machinery runs unchanged on kernel boxes (Section 7): a
+:class:`~repro.core.words.KernelString` whose segments are boxes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import NotCompatibleError, SearchBudgetExceeded
+from repro.automata import operations as ops
+from repro.automata.dfa import minimal_dfa
+from repro.automata.equivalence import disjoint, equivalent, includes, proper_subset
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.regex import ensure_nfa
+from repro.core.words import Box, KernelString, WordTyping, word_is_local, word_is_sound
+
+
+class PerfectAutomaton:
+    """The perfect automaton of a word/box design ``<A, w(fn)>`` (Algorithm 1).
+
+    Parameters
+    ----------
+    target:
+        The target type ``A`` (anything coercible to an NFA).
+    kernel:
+        The kernel string or kernel box.
+    canonical:
+        When true (the default) the construction runs on the minimal DFA of
+        ``[A]``, which keeps the number of local automata small; the typings
+        it produces are language-wise the same (the perfect typing is unique,
+        Theorem 6.5, and maximal typings are determined by the language).
+    """
+
+    def __init__(self, target, kernel: KernelString, canonical: bool = True) -> None:
+        source = ensure_nfa(target)
+        self.kernel = kernel
+        self.alphabet = frozenset(source.alphabet) | kernel.alphabet
+        if canonical:
+            self.automaton = minimal_dfa(source).to_nfa().with_alphabet(self.alphabet)
+        else:
+            self.automaton = source.remove_epsilon().with_alphabet(self.alphabet)
+        self.target = source.with_alphabet(self.alphabet)
+        self._forward: list[frozenset] = []
+        self._backward: list[frozenset] = []
+        self._fragments: Optional[list[list[tuple]]] = None
+        self._compute_state_sets()
+
+    # ------------------------------------------------------------------ #
+    # forward / backward state sets
+    # ------------------------------------------------------------------ #
+
+    def _reach_closure(self, states: Iterable) -> frozenset:
+        return self.automaton.reachable_states(frozenset(states) or frozenset())
+
+    def _coreach_closure(self, states: Iterable) -> frozenset:
+        return self.automaton.coreachable_states(frozenset(states))
+
+    def _compute_state_sets(self) -> None:
+        segments = self.kernel.segments
+        n = self.kernel.n
+        automaton = self.automaton
+        # forward[i] = possible start states of gap i+1, i.e. states reached
+        # after reading w0 Σ* w1 ... wi from the initial state.
+        forward: list[frozenset] = []
+        current = frozenset({automaton.initial})
+        for index in range(n + 1):
+            current = segments[index].image(automaton, current)
+            forward.append(current)
+            current = self._reach_closure(current) if current else frozenset()
+        # backward[i] = possible end states of gap i, i.e. states from which
+        # wi Σ* w(i+1) ... wn reaches a final state.
+        backward: list[Optional[frozenset]] = [None] * (n + 1)
+        current = frozenset(automaton.finals)
+        for index in range(n, 0, -1):
+            current = segments[index].preimage(automaton, current)
+            backward[index] = current
+            current = self._coreach_closure(current) if current else frozenset()
+        self._forward = forward
+        self._backward = backward  # index 0 unused
+
+    @property
+    def compatible(self) -> bool:
+        """Is ``A`` compatible with ``w`` (does a sound typing exist, Section 6)?"""
+        final_states = self._forward[self.kernel.n] & self.automaton.finals
+        if not final_states:
+            return False
+        return all(self.fragment_endpoints(i) for i in range(1, self.kernel.n + 1))
+
+    # ------------------------------------------------------------------ #
+    # Aut(Ωi), Ωi and Ω
+    # ------------------------------------------------------------------ #
+
+    def fragment_endpoints(self, gap: int) -> list[tuple]:
+        """The (start, end) state pairs of the legal local automata of ``Aut(Ω_gap)``."""
+        if not 1 <= gap <= self.kernel.n:
+            raise ValueError(f"gap index must be in 1..{self.kernel.n}")
+        starts = self._forward[gap - 1]
+        ends = self._backward[gap]
+        reachable_from = {state: self.automaton.reachable_states({state}) for state in starts}
+        pairs = []
+        for start in sorted(starts, key=repr):
+            for end in sorted(ends, key=repr):
+                if end in reachable_from[start]:
+                    pairs.append((start, end))
+        return pairs
+
+    def local_automata(self, gap: int) -> list[NFA]:
+        """``Aut(Ω_gap)``: the legal local automata ``A(p, q)`` of the gap."""
+        return [self.automaton.fragment(start, end) for start, end in self.fragment_endpoints(gap)]
+
+    def omega_component(self, gap: int) -> NFA:
+        """``Ω_gap = ∪ Aut(Ω_gap)`` (empty language when the design is incompatible)."""
+        fragments = self.local_automata(gap)
+        if not fragments:
+            return NFA.empty_language(self.alphabet)
+        return ops.union_all(fragments).with_alphabet(self.alphabet)
+
+    def omega_typing(self) -> WordTyping:
+        """The candidate perfect typing ``(Ωn)``."""
+        return tuple(self.omega_component(gap) for gap in range(1, self.kernel.n + 1))
+
+    def omega_nfa(self) -> NFA:
+        """The assembled perfect automaton ``Ω`` itself (Figure 7 / Algorithm 1).
+
+        Built as a layered product of the segment automata with ``A``,
+        linked through the legal gap fragments; its language satisfies
+        ``[Ω] ⊆ [A]`` (Lemma 6.1).
+        """
+        segments = [segment.to_nfa() for segment in self.kernel.segments]
+        automaton = self.automaton
+        states: set = set()
+        transitions: dict = {}
+        finals: set = set()
+
+        def add(src, label, dst) -> None:
+            transitions.setdefault(src, {}).setdefault(label, set()).add(dst)
+            states.add(src)
+            states.add(dst)
+
+        def segment_layer(index: int, entry_states: Iterable) -> set:
+            """Product of segment ``index`` with ``A``; returns its completed states."""
+            seg = segments[index]
+            queue = [("seg", index, seg.initial, state) for state in entry_states]
+            seen = set(queue)
+            completed = set()
+            while queue:
+                tag, idx, seg_state, a_state = current = queue.pop()
+                states.add(current)
+                if seg_state in seg.finals:
+                    completed.add(current)
+                for symbol in seg.alphabet:
+                    for seg_next in seg.successors(seg_state, symbol):
+                        for a_next in automaton.successors(a_state, symbol):
+                            nxt = ("seg", idx, seg_next, a_next)
+                            add(current, symbol, nxt)
+                            if nxt not in seen:
+                                seen.add(nxt)
+                                queue.append(nxt)
+            return completed
+
+        n = self.kernel.n
+        completed = segment_layer(0, {automaton.initial})
+        for gap in range(1, n + 1):
+            endpoints = self.fragment_endpoints(gap)
+            gap_starts = {start for start, _end in endpoints}
+            gap_ends = {end for _start, end in endpoints}
+            allowed = self._reach_closure(gap_starts) & self._coreach_closure(gap_ends)
+            # enter the gap from completed segment states
+            for state in completed:
+                a_state = state[3]
+                if a_state in gap_starts:
+                    add(state, EPSILON, ("gap", gap, a_state))
+            # traverse A inside the gap
+            for a_state in allowed:
+                for symbol in self.alphabet:
+                    for a_next in automaton.successors(a_state, symbol):
+                        if a_next in allowed:
+                            add(("gap", gap, a_state), symbol, ("gap", gap, a_next))
+            # leave the gap into the next segment layer
+            completed = segment_layer(gap, gap_ends)
+            seg = segments[gap]
+            for a_state in gap_ends:
+                add(("gap", gap, a_state), EPSILON, ("seg", gap, seg.initial, a_state))
+        for state in completed:
+            if state[3] in self.automaton.finals:
+                finals.add(state)
+        initial = ("seg", 0, segments[0].initial, automaton.initial)
+        states.add(initial)
+        return NFA(states, self.alphabet, transitions, initial, finals).trim()
+
+    # ------------------------------------------------------------------ #
+    # the decomposition Dec(Ωi) (Section 6.1, Figure 8)
+    # ------------------------------------------------------------------ #
+
+    def decomposition(self, gap: int, max_fragments: int = 12) -> list[NFA]:
+        """``Dec(Ω_gap)``: the non-empty cells ``∩A1 − ∪A2`` of the fragment diagram.
+
+        Raises :class:`SearchBudgetExceeded` when the gap has more than
+        ``max_fragments`` local automata (the construction is exponential in
+        that number -- this is the EXPSPACE machinery of Theorem 6.11).
+        """
+        fragments = self.local_automata(gap)
+        if len(fragments) > max_fragments:
+            raise SearchBudgetExceeded(
+                f"gap {gap} has {len(fragments)} local automata; refusing to build 2^k cells"
+            )
+        cells: list[NFA] = []
+        for mask in range(1, 2 ** len(fragments)):
+            chosen = [fragments[i] for i in range(len(fragments)) if mask & (1 << i)]
+            others = [fragments[i] for i in range(len(fragments)) if not mask & (1 << i)]
+            cell = ops.intersection(*[nfa.with_alphabet(self.alphabet) for nfa in chosen])
+            if others:
+                cell = ops.difference(cell, ops.union_all(others), self.alphabet)
+            if not cell.is_empty_language():
+                cells.append(cell.with_alphabet(self.alphabet))
+        return cells
+
+    def decompositions(self, max_fragments: int = 12) -> list[list[NFA]]:
+        """The decompositions of every gap, ``[Dec(Ω1), ..., Dec(Ωn)]``."""
+        return [self.decomposition(gap, max_fragments) for gap in range(1, self.kernel.n + 1)]
+
+
+# --------------------------------------------------------------------------- #
+# perfection (Theorems 6.5, 6.7, 6.8)
+# --------------------------------------------------------------------------- #
+
+
+def word_find_perfect_typing(target, kernel: KernelString) -> Optional[WordTyping]:
+    """``∃-perf[nFA]``: return the perfect typing ``(Ωn)`` when one exists."""
+    perfect = PerfectAutomaton(target, kernel)
+    if not perfect.compatible:
+        return None
+    omega = perfect.omega_typing()
+    if word_is_local(perfect.target, kernel, omega):
+        return omega
+    return None
+
+
+def word_exists_perfect(target, kernel: KernelString) -> bool:
+    """``∃-perf[nFA]`` as a decision problem (PSPACE-complete, Theorem 6.8)."""
+    return word_find_perfect_typing(target, kernel) is not None
+
+
+def word_is_perfect(target, kernel: KernelString, typing: Sequence[NFA]) -> bool:
+    """``perf[nFA]``: is the given typing perfect (Theorem 6.7)?
+
+    A perfect typing exists iff ``w(Ωn) ≡ A``; when it does, it is unique up
+    to equivalence (Theorem 2.1), so the check reduces to component-wise
+    equivalence with ``(Ωn)``.
+    """
+    perfect = PerfectAutomaton(target, kernel)
+    if not perfect.compatible:
+        return False
+    omega = perfect.omega_typing()
+    if not word_is_local(perfect.target, kernel, omega):
+        return False
+    alphabet = perfect.alphabet
+    return all(
+        equivalent(ensure_nfa(component), omega_component, alphabet)
+        for component, omega_component in zip(typing, omega)
+    ) and len(typing) == len(omega)
+
+
+# --------------------------------------------------------------------------- #
+# maximality (Lemma 6.9, Theorems 6.10 and 7.1)
+# --------------------------------------------------------------------------- #
+
+
+def _extension_candidates(
+    perfect: PerfectAutomaton, typing: Sequence[NFA], max_fragments: int
+) -> Iterable[tuple[int, NFA]]:
+    """Yield ``(position, cell)`` pairs that strictly and soundly extend the typing."""
+    alphabet = perfect.alphabet
+    components = [ensure_nfa(component).with_alphabet(alphabet) for component in typing]
+    for index, cells in enumerate(perfect.decompositions(max_fragments)):
+        for cell in cells:
+            component = components[index]
+            if includes(component, cell, alphabet):
+                continue
+            if disjoint(cell, component):
+                extended = list(components)
+                extended[index] = ops.union(component, cell)
+                if word_is_sound(perfect.target, perfect.kernel, extended):
+                    yield index, cell
+            else:
+                # Partial extension: sound by Lemma 6.9.
+                yield index, cell
+
+
+def word_is_maximal_local(
+    target, kernel: KernelString, typing: Sequence[NFA], max_fragments: int = 12
+) -> bool:
+    """``ml[nFA]``: is the typing local and maximal (Theorem 7.1)?"""
+    perfect = PerfectAutomaton(target, kernel)
+    if not word_is_local(perfect.target, kernel, typing):
+        return False
+    for _candidate in _extension_candidates(perfect, typing, max_fragments):
+        return False
+    return True
+
+
+def word_find_maximal_local_typing(
+    target, kernel: KernelString, max_fragments: int = 12, max_rounds: int = 64
+) -> Optional[WordTyping]:
+    """``∃-ml[nFA]``: return some maximal local typing, or ``None``.
+
+    Starts from any local typing (a maximal one exists whenever a local one
+    does, Remark 2) and greedily extends it with decomposition cells while
+    soundness is preserved; the fixpoint satisfies the maximality criterion
+    of Theorem 7.1.
+    """
+    perfect = PerfectAutomaton(target, kernel)
+    local = word_find_local_typing(target, kernel, max_fragments=max_fragments)
+    if local is None:
+        return None
+    components = [ensure_nfa(component).with_alphabet(perfect.alphabet) for component in local]
+    for _round in range(max_rounds):
+        extension = next(iter(_extension_candidates(perfect, components, max_fragments)), None)
+        if extension is None:
+            return tuple(components)
+        index, cell = extension
+        components[index] = ops.union(components[index], cell).with_alphabet(perfect.alphabet)
+    raise SearchBudgetExceeded("maximal-local extension did not converge within the round budget")
+
+
+def word_exists_maximal_local(target, kernel: KernelString, max_fragments: int = 12) -> bool:
+    """``∃-ml[nFA]``: for nFA types a maximal local typing exists iff a local one does."""
+    return word_exists_local(target, kernel, max_fragments=max_fragments)
+
+
+# --------------------------------------------------------------------------- #
+# existence of local typings (Theorem 6.11)
+# --------------------------------------------------------------------------- #
+
+
+def _candidate_typings(
+    perfect: PerfectAutomaton, max_fragments: int, max_candidates: int
+) -> Iterable[WordTyping]:
+    """All typings whose components are unions of decomposition cells."""
+    decompositions = perfect.decompositions(max_fragments)
+    per_gap_choices: list[list[NFA]] = []
+    total = 1
+    for cells in decompositions:
+        choices = []
+        for mask in range(1, 2 ** len(cells)):
+            chosen = [cells[i] for i in range(len(cells)) if mask & (1 << i)]
+            choices.append(ops.union_all(chosen).with_alphabet(perfect.alphabet))
+        if not choices:
+            return
+        per_gap_choices.append(choices)
+        total *= len(choices)
+        if total > max_candidates:
+            raise SearchBudgetExceeded(
+                f"the decomposition search space has {total}+ candidate typings "
+                f"(budget {max_candidates})"
+            )
+    yield from itertools.product(*per_gap_choices)
+
+
+def word_find_local_typing(
+    target, kernel: KernelString, max_fragments: int = 12, max_candidates: int = 20_000
+) -> Optional[WordTyping]:
+    """``∃-loc[nFA]``: return some local typing, or ``None`` (Theorem 6.11).
+
+    The perfect typing is tried first; otherwise the search enumerates
+    typings built from decomposition cells, which is complete by
+    Theorem 6.10 / Lemma 6.9.
+    """
+    perfect = PerfectAutomaton(target, kernel)
+    if not perfect.compatible:
+        return None
+    omega = perfect.omega_typing()
+    if word_is_local(perfect.target, kernel, omega):
+        return omega
+    if kernel.n == 0:
+        return None
+    for candidate in _candidate_typings(perfect, max_fragments, max_candidates):
+        if word_is_local(perfect.target, kernel, candidate):
+            return candidate
+    return None
+
+
+def word_exists_local(target, kernel: KernelString, max_fragments: int = 12) -> bool:
+    """``∃-loc[nFA]`` as a decision problem."""
+    return word_find_local_typing(target, kernel, max_fragments=max_fragments) is not None
+
+
+def word_all_maximal_local_typings(
+    target,
+    kernel: KernelString,
+    max_fragments: int = 12,
+    max_candidates: int = 20_000,
+) -> list[WordTyping]:
+    """All maximal local typings, up to component-wise equivalence.
+
+    Every maximal local typing has components that are unions of
+    decomposition cells (Theorem 6.10), so enumerating those candidates and
+    filtering with the maximality criterion of Theorem 7.1 is complete.
+    Used to regenerate the paper's Example 5 and Figure 6.
+    """
+    perfect = PerfectAutomaton(target, kernel)
+    if not perfect.compatible or kernel.n == 0:
+        return []
+    results: list[WordTyping] = []
+    for candidate in _candidate_typings(perfect, max_fragments, max_candidates):
+        if not word_is_local(perfect.target, kernel, candidate):
+            continue
+        if next(iter(_extension_candidates(perfect, candidate, max_fragments)), None) is not None:
+            continue
+        if any(_typings_equivalent(candidate, existing, perfect.alphabet) for existing in results):
+            continue
+        results.append(candidate)
+    return results
+
+
+def _typings_equivalent(left: Sequence[NFA], right: Sequence[NFA], alphabet) -> bool:
+    return len(left) == len(right) and all(
+        equivalent(a, b, alphabet) for a, b in zip(left, right)
+    )

@@ -1,0 +1,327 @@
+"""Reductions from tree designs to word and box designs (Section 4).
+
+For DTDs (Theorem 4.2) and SDTDs (Theorem 4.5) every typing problem on a
+top-down design ``<τ, T>`` decomposes into *independent* word problems, one
+per element node ``x`` of the kernel: the target is the content model of
+``x``'s label (or of its unique witness, for SDTDs) and the kernel string is
+``x``'s children string with the function symbols kept in place.
+
+For EDTDs (Section 4.3) the reduction is more delicate: the type is first
+*normalised* (Lemma 4.10), a function ``κ`` assigns to every element node of
+the kernel a set of normalised specialisations, and each node then induces a
+*box* design ``Dxκ`` (Definition 19).  ``κ`` is either enumerated (for
+``∃-loc`` / ``∃-ml``, Corollary 4.14) or constructed top-down (for
+``∃-perf``, Corollary 4.16).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DesignError, SearchBudgetExceeded
+from repro.automata import operations as ops
+from repro.automata.nfa import NFA
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD, NormalizedEDTD, normalize
+from repro.schemas.sdtd import SDTD
+from repro.core.design import TopDownDesign
+from repro.core.kernel import KernelTree
+from repro.core.words import Box, KernelString
+from repro.trees.document import Path
+
+
+@dataclass(frozen=True)
+class InducedWordDesign:
+    """A word (or box) design induced by one element node of the kernel.
+
+    Attributes
+    ----------
+    path:
+        The kernel path of the element node ``x``.
+    target:
+        The content-model language the children string must realise.
+    kernel:
+        The children string of ``x`` as a kernel string/box (functions kept).
+    functions:
+        The functions occurring below ``x``, in document order.
+    """
+
+    path: Path
+    target: NFA
+    kernel: KernelString
+    functions: tuple[str, ...]
+
+    @property
+    def has_functions(self) -> bool:
+        return bool(self.functions)
+
+
+# --------------------------------------------------------------------------- #
+# DTDs (Theorem 4.2)
+# --------------------------------------------------------------------------- #
+
+
+def induced_word_designs_dtd(design: TopDownDesign) -> list[InducedWordDesign]:
+    """The word designs ``Dx = <pi(lab(x)), child-str(x)>`` of Theorem 4.2."""
+    target: DTD = design.target
+    kernel = design.kernel
+    results = []
+    for path in kernel.element_paths():
+        label = kernel.tree.subtree(path).label
+        if label not in target.alphabet:
+            raise DesignError(
+                f"kernel element {label!r} does not occur in the target DTD; "
+                "the design admits no sound typing"
+            )
+        word_kernel = KernelString.from_labels(kernel.child_labels(path), kernel.functions)
+        results.append(
+            InducedWordDesign(
+                path=path,
+                target=target.content(label).nfa,
+                kernel=word_kernel,
+                functions=word_kernel.functions,
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# SDTDs (Theorem 4.5)
+# --------------------------------------------------------------------------- #
+
+
+def kernel_witnesses_sdtd(design: TopDownDesign) -> Optional[dict[Path, str]]:
+    """The unique witness name of every element node of the kernel (Definition 18).
+
+    Returns ``None`` when the kernel skeleton cannot be witnessed at all
+    (some element node's label has no specialisation in its parent's content
+    model), in which case no extension is valid and no local typing exists.
+    """
+    target: SDTD = design.target
+    kernel = design.kernel
+    witnesses: dict[Path, str] = {}
+    root_path: Path = ()
+    if kernel.tree.label != target.root_element:
+        return None
+    witnesses[root_path] = target.start
+    for path in kernel.element_paths():
+        if path == root_path:
+            continue
+        parent = path[:-1]
+        # The parent may be missing only if it is a function node, which is
+        # impossible because function nodes are leaves.
+        parent_witness = witnesses.get(parent)
+        if parent_witness is None:
+            return None
+        label = kernel.tree.subtree(path).label
+        candidates = [
+            name
+            for name in target.content(parent_witness).used_symbols()
+            if target.mu[name] == label
+        ]
+        if not candidates:
+            return None
+        witnesses[path] = candidates[0]  # unique by the single-type property
+    return witnesses
+
+
+def induced_word_designs_sdtd(design: TopDownDesign) -> Optional[list[InducedWordDesign]]:
+    """The word designs ``Dx = <pi(witness(x)), wx>`` of Definition 18 / Theorem 4.5."""
+    target: SDTD = design.target
+    kernel = design.kernel
+    witnesses = kernel_witnesses_sdtd(design)
+    if witnesses is None:
+        return None
+    results = []
+    for path in kernel.element_paths():
+        witness = witnesses[path]
+        labels = []
+        for index, label in enumerate(kernel.child_labels(path)):
+            if kernel.is_function(label):
+                labels.append(label)
+            else:
+                labels.append(witnesses[path + (index,)])
+        word_kernel = KernelString.from_labels(labels, kernel.functions)
+        results.append(
+            InducedWordDesign(
+                path=path,
+                target=target.content(witness).nfa,
+                kernel=word_kernel,
+                functions=word_kernel.functions,
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# EDTDs (Section 4.3): κ assignments and induced box designs
+# --------------------------------------------------------------------------- #
+
+
+KappaAssignment = Mapping[Path, frozenset[str]]
+
+
+def normalized_target(design: TopDownDesign) -> NormalizedEDTD:
+    """The normalised form of the target EDTD (Lemma 4.10)."""
+    target = design.target
+    if isinstance(target, NormalizedEDTD):
+        return target
+    if not isinstance(target, EDTD):
+        raise DesignError("the EDTD reduction needs an EDTD target")
+    return normalize(target)
+
+
+def enumerate_kappas(
+    design: TopDownDesign,
+    normalized: NormalizedEDTD,
+    max_assignments: int = 4096,
+) -> Iterator[dict[Path, frozenset[str]]]:
+    """Enumerate the candidate ``κ`` functions of Definition 19.
+
+    The root is always assigned the admissible root names; every other
+    element node ranges over the non-empty subsets of the normalised
+    specialisations of its label.  Raises :class:`SearchBudgetExceeded` when
+    the space is larger than ``max_assignments`` (the NP guess of
+    Corollary 4.14).
+    """
+    kernel = design.kernel
+    paths = kernel.element_paths()
+    per_node_choices: list[list[frozenset[str]]] = []
+    total = 1
+    for path in paths:
+        label = kernel.tree.subtree(path).label
+        if path == ():
+            root_names = frozenset(
+                name for name in normalized.roots if normalized.element_of[name] == label
+            )
+            if not root_names:
+                return
+            per_node_choices.append([root_names])
+            continue
+        names = sorted(normalized.specializations(label))
+        if not names:
+            return
+        subsets = [
+            frozenset(subset)
+            for size in range(1, len(names) + 1)
+            for subset in itertools.combinations(names, size)
+        ]
+        per_node_choices.append(subsets)
+        total *= len(subsets)
+        if total > max_assignments:
+            raise SearchBudgetExceeded(
+                f"the κ search space has {total}+ assignments (budget {max_assignments})"
+            )
+    for combination in itertools.product(*per_node_choices):
+        yield dict(zip(paths, combination))
+
+
+def induced_box_designs_edtd(
+    design: TopDownDesign,
+    normalized: NormalizedEDTD,
+    kappa: KappaAssignment,
+) -> list[InducedWordDesign]:
+    """The box designs ``Dxκ = <pi(κ(x)), Bx>`` of Definition 19."""
+    kernel = design.kernel
+    results = []
+    for path in kernel.element_paths():
+        node = kernel.tree.subtree(path)
+        target_nfa = normalized.content_union(kappa[path])
+        boxes: list[list[frozenset[str]]] = [[]]
+        functions: list[str] = []
+        for index, child in enumerate(node.children):
+            if kernel.is_function(child.label):
+                functions.append(child.label)
+                boxes.append([])
+            else:
+                boxes[-1].append(kappa[path + (index,)])
+        word_kernel = KernelString([Box(sets) for sets in boxes], functions)
+        results.append(
+            InducedWordDesign(
+                path=path,
+                target=target_nfa,
+                kernel=word_kernel,
+                functions=tuple(functions),
+            )
+        )
+    return results
+
+
+def _expand_symbols(nfa: NFA, expansion: Mapping[str, Sequence[str]]) -> NFA:
+    """Replace every transition symbol by all its positional copies (Corollary 4.16)."""
+    transitions: dict = {}
+    alphabet: set[str] = set()
+    for src, label, dst in nfa.iter_transitions():
+        replacements = expansion.get(label, [label]) if label else [label]
+        for replacement in replacements:
+            transitions.setdefault(src, {}).setdefault(replacement, set()).add(dst)
+            if replacement:
+                alphabet.add(replacement)
+    for symbols in expansion.values():
+        alphabet.update(symbols)
+    return NFA(nfa.states, alphabet, transitions, nfa.initial, nfa.finals)
+
+
+def perfect_kappa(
+    design: TopDownDesign, normalized: NormalizedEDTD
+) -> Optional[dict[Path, frozenset[str]]]:
+    """The top-down ``κ`` construction of Corollary 4.16 (for ``∃-perf[EDTD]``).
+
+    Assuming a perfect typing exists, the set of specialisations each kernel
+    node may take is forced; it is computed by intersecting, at each node,
+    the positional language of the children pattern with the content model
+    of the node's own assignment.  Returns ``None`` as soon as some element
+    child admits no specialisation (then no sound typing exists at all).
+    """
+    kernel = design.kernel
+    kappa: dict[Path, frozenset[str]] = {}
+    root_label = kernel.tree.label
+    root_names = frozenset(
+        name for name in normalized.roots if normalized.element_of[name] == root_label
+    )
+    if not root_names:
+        return None
+    kappa[()] = root_names
+    # Process nodes top-down (document order guarantees parents come first).
+    for path in kernel.element_paths():
+        node = kernel.tree.subtree(path)
+        if not node.children:
+            continue
+        assigned = kappa[path]
+        positions: dict[int, str] = {}
+        pattern_pieces: list[NFA] = []
+        expansion: dict[str, list[str]] = {name: [] for name in normalized.names}
+        for index, child in enumerate(node.children):
+            if kernel.is_function(child.label):
+                symbols = [f"{name}@@{index}" for name in sorted(normalized.names)]
+                pattern_pieces.append(ops.kleene_star(NFA.from_finite_language([[s] for s in symbols])))
+                for name in normalized.names:
+                    expansion[name].append(f"{name}@@{index}")
+            else:
+                positions[index] = child.label
+                names = sorted(normalized.specializations(child.label))
+                if not names:
+                    return None
+                symbols = [f"{name}@@{index}" for name in names]
+                pattern_pieces.append(NFA.from_finite_language([[s] for s in symbols]))
+                for name in names:
+                    expansion[name].append(f"{name}@@{index}")
+        pattern = ops.concat_all(pattern_pieces)
+        content = _expand_symbols(normalized.content_union(assigned), expansion)
+        intersection = ops.intersection(
+            pattern.with_alphabet(content.alphabet), content.with_alphabet(pattern.alphabet)
+        )
+        used = intersection.used_symbols()
+        for index, label in positions.items():
+            names = frozenset(
+                name
+                for name in normalized.specializations(label)
+                if f"{name}@@{index}" in used
+            )
+            if not names:
+                return None
+            kappa[path + (index,)] = names
+    return kappa

@@ -1,0 +1,318 @@
+"""Kernel strings, kernel boxes and the word-level typing problems (Sections 2.3, 5).
+
+Most tree problems reduce to problems on *kernel strings*
+``w(fn) = w0 f1 w1 ... fn wn`` (Section 4) or, for EDTDs, on *kernel boxes*
+``B(fn) = B0 f1 B1 ... fn Bn`` where each ``Bi`` is a box (a language of the
+form ``Σ1 Σ2 ... Σk``, Section 2.1.2).  This module provides both, unified:
+a :class:`KernelString` is a sequence of :class:`Box` segments separated by
+function symbols, and a plain word is the special case of singleton boxes.
+
+On top of that the basic word-level notions are implemented directly from
+the definitions: the automaton ``w(τn)`` whose language is the extension
+``extw(τn)``, and soundness / completeness / locality of a word typing
+(Definition 12 read over strings).  The harder problems (maximality,
+perfection, existence) are built on the perfect automaton in
+:mod:`repro.core.perfect`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+from typing import Optional, Union
+
+from repro.errors import DesignError, KernelError
+from repro.automata import operations as ops
+from repro.automata.equivalence import equivalent, includes
+from repro.automata.nfa import NFA, Word, as_word
+from repro.automata.regex import ensure_nfa
+
+_FUNCTION_TOKEN = re.compile(r"^f\d*$|^g\d+$")
+
+WordTyping = tuple[NFA, ...]
+
+
+class Box:
+    """A box ``Σ1 Σ2 ... Σk``: a cartesian product of symbol sets (Section 2.1.2).
+
+    A plain word is the box whose sets are singletons; the empty box (width
+    zero) denotes the language ``{ε}``.
+    """
+
+    __slots__ = ("sets",)
+
+    def __init__(self, sets: Sequence[Iterable[str]]) -> None:
+        self.sets: tuple[frozenset[str], ...] = tuple(frozenset(part) for part in sets)
+        if any(not part for part in self.sets):
+            raise KernelError("a box must not contain an empty set of symbols")
+
+    @classmethod
+    def from_word(cls, word: str | Sequence[str]) -> "Box":
+        return cls([{symbol} for symbol in as_word(word)])
+
+    @classmethod
+    def epsilon(cls) -> "Box":
+        return cls([])
+
+    @property
+    def width(self) -> int:
+        return len(self.sets)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        symbols: set[str] = set()
+        for part in self.sets:
+            symbols |= part
+        return frozenset(symbols)
+
+    def is_word(self) -> bool:
+        """Is this box a single word (all sets singletons)?"""
+        return all(len(part) == 1 for part in self.sets)
+
+    def word(self) -> Word:
+        """The unique word of a singleton box (raises otherwise)."""
+        if not self.is_word():
+            raise KernelError("the box denotes more than one word")
+        return tuple(next(iter(part)) for part in self.sets)
+
+    def words(self) -> Iterable[Word]:
+        """Enumerate all words of the box (used by tests and Definition 21)."""
+        import itertools
+
+        for combination in itertools.product(*[sorted(part) for part in self.sets]):
+            yield tuple(combination)
+
+    def to_nfa(self) -> NFA:
+        """The (acyclic, epsilon-free) automaton of the box."""
+        states = set(range(self.width + 1))
+        transitions: dict[int, dict[str, set[int]]] = {}
+        for index, part in enumerate(self.sets):
+            for symbol in part:
+                transitions.setdefault(index, {}).setdefault(symbol, set()).add(index + 1)
+        return NFA(states, self.alphabet, transitions, 0, {self.width})
+
+    # -- reachability through the target automaton ----------------------- #
+
+    def image(self, automaton: NFA, states: Iterable) -> frozenset:
+        """States of ``automaton`` reachable from ``states`` by reading some word of the box."""
+        current = frozenset(states)
+        for part in self.sets:
+            moved: set = set()
+            for symbol in part:
+                moved |= automaton.step(current, symbol)
+            current = frozenset(moved)
+            if not current:
+                break
+        return current
+
+    def preimage(self, automaton: NFA, states: Iterable) -> frozenset:
+        """States of ``automaton`` from which some word of the box reaches ``states``.
+
+        Assumes ``automaton`` is epsilon-free (which is how the perfect
+        automaton construction uses it).
+        """
+        current = frozenset(states)
+        for part in reversed(self.sets):
+            previous: set = set()
+            for state in automaton.states:
+                for symbol in part:
+                    if automaton.successors(state, symbol) & current:
+                        previous.add(state)
+                        break
+            current = frozenset(previous)
+            if not current:
+                break
+        return current
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Box) and self.sets == other.sets
+
+    def __hash__(self) -> int:
+        return hash(self.sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Box({[sorted(part) for part in self.sets]!r})"
+
+    def __str__(self) -> str:
+        if self.width == 0:
+            return "ε"
+        parts = []
+        for part in self.sets:
+            if len(part) == 1:
+                parts.append(next(iter(part)))
+            else:
+                parts.append("{" + ",".join(sorted(part)) + "}")
+        return " ".join(parts)
+
+
+class KernelString:
+    """A kernel string / kernel box ``B0 f1 B1 ... fn Bn``.
+
+    Parameters
+    ----------
+    segments:
+        The ``n + 1`` boxes between (and around) the function symbols; plain
+        strings and words are promoted to boxes.
+    functions:
+        The ``n`` function symbols, each occurring once.
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[Union[Box, str, Sequence[str]]],
+        functions: Sequence[str],
+    ) -> None:
+        self.segments: tuple[Box, ...] = tuple(
+            part if isinstance(part, Box) else Box.from_word(part) for part in segments
+        )
+        self.functions: tuple[str, ...] = tuple(functions)
+        if len(self.segments) != len(self.functions) + 1:
+            raise KernelError("a kernel string needs exactly one more segment than functions")
+        if len(set(self.functions)) != len(self.functions):
+            raise KernelError("no function symbol may occur more than once (requirement (iii))")
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        functions: Optional[Iterable[str]] = None,
+        names: bool = False,
+    ) -> "KernelString":
+        """Parse the paper's notation, e.g. ``"a f1 c f2 e"``.
+
+        Whitespace separates tokens.  Tokens matching ``f``/``f<k>``/``g<k>``
+        (or belonging to the explicit ``functions`` set) are function
+        symbols; other tokens contribute symbols to the current word segment
+        -- one symbol per character by default, or one symbol per token with
+        ``names=True``.
+        """
+        known = set(functions) if functions is not None else None
+        words: list[list[str]] = [[]]
+        found: list[str] = []
+        for token in text.split():
+            is_function = token in known if known is not None else bool(_FUNCTION_TOKEN.match(token))
+            if is_function:
+                found.append(token)
+                words.append([])
+            elif names:
+                words[-1].append(token)
+            else:
+                words[-1].extend(token)
+        return cls([Box.from_word(word) for word in words], found)
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[str], functions: Iterable[str]) -> "KernelString":
+        """Build a kernel string from a children-label sequence of a kernel node."""
+        known = set(functions)
+        words: list[list[str]] = [[]]
+        found: list[str] = []
+        for label in labels:
+            if label in known:
+                found.append(label)
+                words.append([])
+            else:
+                words[-1].append(label)
+        return cls([Box.from_word(word) for word in words], found)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """The number of functions."""
+        return len(self.functions)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        symbols: set[str] = set()
+        for segment in self.segments:
+            symbols |= segment.alphabet
+        return frozenset(symbols)
+
+    @property
+    def length(self) -> int:
+        """``‖w‖``: non-function symbols plus functions."""
+        return sum(segment.width for segment in self.segments) + self.n
+
+    def is_plain_word(self) -> bool:
+        return all(segment.is_word() for segment in self.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelString({str(self)!r})"
+
+    def __str__(self) -> str:
+        pieces: list[str] = []
+        for index, segment in enumerate(self.segments):
+            if segment.width:
+                pieces.append(str(segment))
+            if index < self.n:
+                pieces.append(self.functions[index])
+        return " ".join(pieces) if pieces else "ε"
+
+    # ------------------------------------------------------------------ #
+    # the automaton w(τn)
+    # ------------------------------------------------------------------ #
+
+    def build(self, typing: Sequence[NFA]) -> NFA:
+        """The automaton ``w(τn)`` with ``[w(τn)] = extw(τn)`` (Section 2.3)."""
+        if len(typing) != self.n:
+            raise DesignError(
+                f"the typing has {len(typing)} components but the kernel has {self.n} functions"
+            )
+        pieces: list[NFA] = [self.segments[0].to_nfa()]
+        for index, component in enumerate(typing):
+            pieces.append(ensure_nfa(component))
+            pieces.append(self.segments[index + 1].to_nfa())
+        return ops.concat_all(pieces)
+
+    def extension_words(self, typing: Sequence[NFA], max_component_length: int) -> set[Word]:
+        """A brute-force fragment of ``extw(τn)`` used as an oracle in tests."""
+        from repro.automata.nfa import product_words
+
+        parts: list[list[Word]] = []
+        for index, segment in enumerate(self.segments):
+            if index:
+                component = ensure_nfa(typing[index - 1])
+                parts.append(list(component.enumerate_language(max_component_length)))
+            parts.append(list(segment.words()))
+        return set(product_words(parts))
+
+
+def build_word_automaton(kernel: KernelString, typing: Sequence[NFA]) -> NFA:
+    """Module-level alias of :meth:`KernelString.build` (reads like the paper)."""
+    return kernel.build(typing)
+
+
+# --------------------------------------------------------------------------- #
+# basic word-level properties (Definition 12 over strings)
+# --------------------------------------------------------------------------- #
+
+
+def _joint_alphabet(target: NFA, kernel: KernelString, typing: Sequence[NFA]) -> frozenset[str]:
+    symbols = set(target.alphabet) | set(kernel.alphabet)
+    for component in typing:
+        symbols |= ensure_nfa(component).alphabet
+    return frozenset(symbols)
+
+
+def word_is_sound(target: NFA, kernel: KernelString, typing: Sequence[NFA]) -> bool:
+    """``extw(τn) ⊆ [τ]``."""
+    alphabet = _joint_alphabet(target, kernel, typing)
+    return includes(target, kernel.build(typing), alphabet)
+
+
+def word_is_complete(target: NFA, kernel: KernelString, typing: Sequence[NFA]) -> bool:
+    """``extw(τn) ⊇ [τ]``."""
+    alphabet = _joint_alphabet(target, kernel, typing)
+    return includes(kernel.build(typing), target, alphabet)
+
+
+def word_is_local(target: NFA, kernel: KernelString, typing: Sequence[NFA]) -> bool:
+    """``extw(τn) = [τ]`` -- the problem ``loc[R]`` (PSPACE-complete, Theorem 5.3)."""
+    alphabet = _joint_alphabet(target, kernel, typing)
+    return equivalent(target, kernel.build(typing), alphabet)

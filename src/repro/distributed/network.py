@@ -1,0 +1,194 @@
+"""The coordinator's view of a distributed document and its validation strategies.
+
+A :class:`DistributedDocument` ties a kernel document held by a coordinator
+peer to the resource peers providing the docking points.  Three operations
+matter for the paper's motivation (Section 1):
+
+* :meth:`DistributedDocument.materialize` -- activate every function node
+  and build the extension ``extT(t1..tn)``;
+* :meth:`DistributedDocument.validate_centralized` -- ship every remote
+  document to the coordinator and validate the materialised document against
+  the global type (cost: all the data crosses the network);
+* :meth:`DistributedDocument.validate_locally` -- each peer validates its own
+  document against the local type propagated to it and sends back one small
+  acknowledgement.  When the typing is *sound*, local success implies global
+  validity; when it is *local* (sound and complete) the strategies accept
+  exactly the same documents.
+
+Every operation records :class:`~repro.distributed.peer.Message` values on
+the :class:`Network`, so benchmarks can compare bytes shipped and messages
+exchanged by the two strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import DesignError
+from repro.core.kernel import KernelTree
+from repro.core.typing import SchemaType, TreeTyping
+from repro.distributed.peer import Message, Peer, ResourcePeer, document_bytes
+from repro.trees.document import Tree
+
+#: Size of a control message (a call request or a boolean acknowledgement).
+CONTROL_MESSAGE_BYTES = 64
+
+
+@dataclass
+class Network:
+    """The message log shared by all peers of a simulation."""
+
+    peers: dict[str, Peer] = field(default_factory=dict)
+    log: list[Message] = field(default_factory=list)
+
+    def register(self, peer: Peer) -> Peer:
+        self.peers[peer.name] = peer
+        return peer
+
+    def send(self, sender: str, recipient: str, kind: str, payload_bytes: int, description: str = "") -> None:
+        self.log.append(Message(sender, recipient, kind, payload_bytes, description))
+
+    # -- accounting ------------------------------------------------------ #
+
+    @property
+    def message_count(self) -> int:
+        return len(self.log)
+
+    @property
+    def bytes_shipped(self) -> int:
+        return sum(message.payload_bytes for message in self.log)
+
+    def reset(self) -> None:
+        self.log.clear()
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The outcome and cost of one validation run."""
+
+    strategy: str
+    valid: bool
+    messages: int
+    bytes_shipped: int
+    guarantee: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.strategy}] valid={self.valid} "
+            f"messages={self.messages} bytes={self.bytes_shipped} ({self.guarantee})"
+        )
+
+
+class DistributedDocument:
+    """A kernel document whose docking points are served by resource peers."""
+
+    def __init__(
+        self,
+        kernel: KernelTree,
+        documents: Mapping[str, Tree],
+        coordinator_name: str = "coordinator",
+        network: Optional[Network] = None,
+    ) -> None:
+        missing = set(kernel.functions) - set(documents)
+        if missing:
+            raise DesignError(f"no resource document supplied for functions {sorted(missing)!r}")
+        self.kernel = kernel
+        self.network = network if network is not None else Network()
+        self.coordinator = self.network.register(Peer(coordinator_name))
+        self.resources: dict[str, ResourcePeer] = {}
+        for function in kernel.functions:
+            peer = ResourcePeer(name=f"peer:{function}", function=function, document=documents[function])
+            self.network.register(peer)
+            self.resources[function] = peer
+
+    # ------------------------------------------------------------------ #
+    # typing propagation
+    # ------------------------------------------------------------------ #
+
+    def propagate_typing(self, typing: TreeTyping) -> None:
+        """Install a typing: send each peer its local type (one message each)."""
+        for function, peer in self.resources.items():
+            if function not in typing:
+                raise DesignError(f"the typing has no component for {function!r}")
+            peer.assign_type(typing[function])
+            self.network.send(
+                self.coordinator.name,
+                peer.name,
+                "propagate-type",
+                CONTROL_MESSAGE_BYTES + typing[function].size,
+                f"local type for {function}",
+            )
+
+    def update_resource(self, function: str, document: Tree) -> None:
+        """A peer publishes a new version of its data (no network traffic)."""
+        self.resources[function].update_document(document)
+
+    # ------------------------------------------------------------------ #
+    # materialisation and validation strategies
+    # ------------------------------------------------------------------ #
+
+    def materialize(self) -> Tree:
+        """Activate every docking point and build the extension ``extT(t1..tn)``."""
+        assignment: dict[str, Tree] = {}
+        for function, peer in self.resources.items():
+            self.network.send(self.coordinator.name, peer.name, "call", CONTROL_MESSAGE_BYTES, function)
+            document = peer.answer()
+            self.network.send(peer.name, self.coordinator.name, "result", document_bytes(document), function)
+            assignment[function] = document
+        return self.kernel.extension(assignment)
+
+    def validate_centralized(self, global_type: SchemaType) -> ValidationReport:
+        """Ship everything to the coordinator and validate against the global type."""
+        before_messages = self.network.message_count
+        before_bytes = self.network.bytes_shipped
+        extension = self.materialize()
+        valid = global_type.validate(extension)
+        return ValidationReport(
+            strategy="centralized",
+            valid=valid,
+            messages=self.network.message_count - before_messages,
+            bytes_shipped=self.network.bytes_shipped - before_bytes,
+            guarantee="exact (the materialised document was checked against the global type)",
+        )
+
+    def validate_locally(self, typing: Optional[TreeTyping] = None, typing_is_local: bool = True) -> ValidationReport:
+        """Each peer validates its own document against its local type.
+
+        ``typing`` may be passed to (re-)propagate local types first.  The
+        guarantee depends on the typing: a *sound* typing makes local success
+        imply global validity; a *local* typing additionally rules no valid
+        configuration out (Section 2.4).
+        """
+        before_messages = self.network.message_count
+        before_bytes = self.network.bytes_shipped
+        if typing is not None:
+            self.propagate_typing(typing)
+        valid = True
+        for function, peer in self.resources.items():
+            self.network.send(self.coordinator.name, peer.name, "validate-request", CONTROL_MESSAGE_BYTES, function)
+            ok = peer.validate_locally()
+            self.network.send(peer.name, self.coordinator.name, "validate-result", CONTROL_MESSAGE_BYTES, str(ok))
+            valid = valid and ok
+        guarantee = (
+            "sound & complete: local success is equivalent to global validity"
+            if typing_is_local
+            else "sound: local success implies global validity"
+        )
+        return ValidationReport(
+            strategy="local",
+            valid=valid,
+            messages=self.network.message_count - before_messages,
+            bytes_shipped=self.network.bytes_shipped - before_bytes,
+            guarantee=guarantee,
+        )
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        lines = [f"kernel at {self.coordinator.name}: {self.kernel}"]
+        for peer in self.resources.values():
+            lines.append("  " + peer.describe())
+        return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Peers and messages of the simulated distributed-document architecture.
+
+A :class:`ResourcePeer` plays the role of one external resource ``fi`` of a
+kernel document: it owns the XML document it would return when the function
+node is activated, and it can validate that document against a *local type*
+(the ``τi`` a top-down design propagates to it).  Message sizes are measured
+in bytes of the serialised XML, which is what the validation-strategy
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.typing import SchemaType
+from repro.trees.document import Tree
+from repro.trees.xml_io import tree_to_xml
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message exchanged between peers (for the accounting only)."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload_bytes: int
+    description: str = ""
+
+
+def document_bytes(document: Tree) -> int:
+    """The size of a document on the wire (bytes of its XML serialisation)."""
+    return len(tree_to_xml(document).encode("utf-8"))
+
+
+@dataclass
+class Peer:
+    """A named participant of the distributed architecture."""
+
+    name: str
+
+    def describe(self) -> str:
+        return f"peer {self.name}"
+
+
+@dataclass
+class ResourcePeer(Peer):
+    """A peer providing the document of one external resource.
+
+    Attributes
+    ----------
+    function:
+        The function symbol of the kernel this peer answers for.
+    document:
+        The document returned when the function is activated; its root is the
+        dedicated root element ``s_i`` and only the forest below it is
+        attached to the kernel.
+    local_type:
+        The propagated local type ``τi``, when one has been assigned.
+    """
+
+    function: str = ""
+    document: Optional[Tree] = None
+    local_type: Optional[SchemaType] = None
+    calls: int = field(default=0, repr=False)
+
+    def assign_type(self, schema: SchemaType) -> None:
+        """Install the local type propagated by the designer."""
+        self.local_type = schema
+
+    def answer(self) -> Tree:
+        """Return the document for a call of the resource (counts the call)."""
+        if self.document is None:
+            raise RuntimeError(f"peer {self.name!r} has no document for {self.function!r}")
+        self.calls += 1
+        return self.document
+
+    def update_document(self, document: Tree) -> None:
+        """Replace the peer's document (e.g. a national bureau publishing new data)."""
+        self.document = document
+
+    def validate_locally(self) -> bool:
+        """Validate the peer's own document against its local type.
+
+        This is the whole point of a local typing: the check involves no
+        other peer and no data shipping.
+        """
+        if self.local_type is None:
+            raise RuntimeError(f"peer {self.name!r} has no local type to validate against")
+        if self.document is None:
+            return False
+        return self.local_type.validate(self.document)
+
+    def document_size(self) -> int:
+        """Bytes of the peer's document (what centralized validation must ship)."""
+        return document_bytes(self.document) if self.document is not None else 0
+
+    def describe(self) -> str:
+        size = self.document.size if self.document is not None else 0
+        return f"peer {self.name} provides {self.function} ({size} nodes)"

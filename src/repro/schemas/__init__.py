@@ -1,0 +1,42 @@
+"""Abstractions of XML schema languages (Section 2.2).
+
+The paper compares three schema languages, parameterised by the formalism
+``R`` used for content models (``nFA``, ``dFA``, ``nRE`` or ``dRE``):
+
+========================  =============================  =======================
+Schema language           W3C / practical counterpart     Class in this package
+========================  =============================  =======================
+``R-DTD``                 W3C DTDs (local tree grammars)  :class:`repro.schemas.DTD`
+``R-SDTD``                W3C XML Schema (single-type)    :class:`repro.schemas.SDTD`
+``R-EDTD``                Relax NG (regular tree langs.)  :class:`repro.schemas.EDTD`
+========================  =============================  =======================
+
+Every schema knows how to validate a tree, convert itself to an unranked
+tree automaton, reduce itself (Definition 5) and report its size; the
+closure constructions used by the bottom-up consistency problems live in
+:mod:`repro.schemas.closures`, and :mod:`repro.schemas.dtd_text` parses both
+W3C ``<!ELEMENT ...>`` syntax and the compact arrow notation the paper uses
+in Figures 3-6.
+"""
+
+from repro.schemas.content_model import ContentModel, Formalism
+from repro.schemas.dtd import DTD
+from repro.schemas.sdtd import SDTD
+from repro.schemas.edtd import EDTD, NormalizedEDTD, is_normalized, normalize
+from repro.schemas.closures import dtd_closure, single_type_closure
+from repro.schemas.dtd_text import parse_dtd_text, parse_rules
+
+__all__ = [
+    "ContentModel",
+    "Formalism",
+    "DTD",
+    "SDTD",
+    "EDTD",
+    "NormalizedEDTD",
+    "is_normalized",
+    "normalize",
+    "dtd_closure",
+    "single_type_closure",
+    "parse_dtd_text",
+    "parse_rules",
+]

@@ -1,0 +1,111 @@
+"""Closure constructions used by the bottom-up consistency problems.
+
+``cons[SDTD]`` and ``cons[DTD]`` ask whether the regular tree language
+``extT(τn)`` (given as the EDTD ``T(τn)``, Section 3.1) is definable by an
+SDTD or a DTD.  The characterisations the paper relies on are
+
+* **SDTD-definability** ⟺ closure under *ancestor-guarded subtree exchange*
+  (Lemma 3.5), and
+* **DTD-definability** ⟺ closure under *subtree substitution* (Lemma 3.12).
+
+Both are decided here constructively: the :func:`single_type_closure`
+(resp. :func:`dtd_closure`) of an EDTD is the smallest single-type (resp.
+local) tree language containing it, obtained by merging specialisations
+that share an ancestor context (resp. an element name).  The EDTD is
+SDTD-/DTD-definable iff its closure defines the *same* language, in which
+case the closure *is* the wanted type ``typeT(τn)``.  This is equivalent to
+the bottom-up merging procedure in the proofs of Theorems 3.10 and 3.13.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping
+
+from repro.automata import operations as ops
+from repro.automata.nfa import NFA
+from repro.schemas.content_model import ContentModel
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.schemas.sdtd import SDTD
+
+
+def single_type_closure(edtd: EDTD) -> SDTD:
+    """The smallest single-type tree language containing ``[edtd]``, as an SDTD.
+
+    Specialised names of the closure are *groups* ``(element, M)`` where
+    ``M`` is the set of original specialisations that can occur under one
+    ancestor context; the content model of a group is the union of the
+    members' content models with every child symbol coarsened to its own
+    group.  ``[edtd] ⊆ [closure]`` always holds; equality holds iff
+    ``[edtd]`` is closed under ancestor-guarded subtree exchange.
+    """
+    source = edtd if edtd.is_reduced() else edtd.reduced()
+    root_element = source.root_element
+    root_group = (root_element, frozenset({source.start}))
+
+    group_names: dict[tuple[str, frozenset[str]], str] = {}
+    counters: dict[str, int] = {}
+
+    def name_of(group: tuple[str, frozenset[str]]) -> str:
+        if group not in group_names:
+            element = group[0]
+            counters[element] = counters.get(element, 0) + 1
+            group_names[group] = f"{element}#{counters[element]}"
+        return group_names[group]
+
+    rules: dict[str, ContentModel] = {}
+    mu: dict[str, str] = {}
+    queue = deque([root_group])
+    seen = {root_group}
+    while queue:
+        group = queue.popleft()
+        element, members = group
+        group_name = name_of(group)
+        mu[group_name] = element
+        union_nfa = ops.union_all(
+            [source.content(member).nfa.with_alphabet(source.specialized_names) for member in sorted(members)]
+        ).with_alphabet(source.specialized_names)
+        used = union_nfa.used_symbols()
+        # Group the child symbols by element name; each child element gets
+        # exactly one group, which is what makes the closure single-type.
+        child_groups: dict[str, tuple[str, frozenset[str]]] = {}
+        for symbol in used:
+            child_element = source.mu[symbol]
+            current = child_groups.get(child_element, (child_element, frozenset()))
+            child_groups[child_element] = (child_element, current[1] | {symbol})
+        renaming = {}
+        for child_element, child_group in child_groups.items():
+            child_name = name_of(child_group)
+            mu[child_name] = child_element
+            for symbol in child_group[1]:
+                renaming[symbol] = child_name
+            if child_group not in seen:
+                seen.add(child_group)
+                queue.append(child_group)
+        rules[group_name] = ContentModel(
+            union_nfa.rename_symbols(renaming).trim(), source.formalism, check=False
+        )
+    return SDTD(name_of(root_group), rules, mu, source.formalism)
+
+
+def dtd_closure(edtd: EDTD) -> DTD:
+    """The smallest local (DTD-definable) tree language containing ``[edtd]``.
+
+    The content model of element ``a`` is the union, over all *useful*
+    specialisations of ``a``, of their content models projected to element
+    names through ``mu``.  ``[edtd] ⊆ [closure]`` always holds; equality
+    holds iff ``[edtd]`` is closed under subtree substitution.
+    """
+    source = edtd if edtd.is_reduced() else edtd.reduced()
+    rules: dict[str, ContentModel] = {}
+    for element in sorted(source.alphabet):
+        members = sorted(source.specializations(element))
+        if not members:
+            continue
+        union_nfa = ops.union_all(
+            [source.content(member).nfa.with_alphabet(source.specialized_names) for member in members]
+        )
+        projected = union_nfa.rename_symbols(dict(source.mu)).trim()
+        rules[element] = ContentModel(projected, source.formalism, check=False)
+    return DTD(source.root_element, rules, source.formalism, alphabet=source.alphabet)

@@ -1,0 +1,57 @@
+"""Cross-schema language comparison (``equiv[S]``, Definition 1).
+
+Any two schemas (DTD / SDTD / EDTD / normalised EDTD), possibly of different
+schema languages, can be compared through their tree automata.  These
+helpers are used by the bottom-up consistency algorithms, by the locality
+checks of the top-down problems and throughout the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD, NormalizedEDTD
+from repro.trees.automata import (
+    UnrankedTreeAutomaton,
+    tree_language_counterexample,
+    tree_language_equivalence_counterexample,
+    tree_language_equivalent,
+    tree_language_includes,
+    tree_language_is_empty,
+)
+from repro.trees.document import Tree
+
+Schema = Union[DTD, EDTD, NormalizedEDTD, UnrankedTreeAutomaton]
+
+
+def schema_to_uta(schema: Schema) -> UnrankedTreeAutomaton:
+    """Coerce any schema-like object into an unranked tree automaton."""
+    if isinstance(schema, UnrankedTreeAutomaton):
+        return schema
+    return schema.to_uta()
+
+
+def schema_equivalent(left: Schema, right: Schema) -> bool:
+    """Decide ``[left] = [right]`` for any mix of schema languages."""
+    return tree_language_equivalent(schema_to_uta(left), schema_to_uta(right))
+
+
+def schema_includes(big: Schema, small: Schema) -> bool:
+    """Decide ``[small] ⊆ [big]``."""
+    return tree_language_includes(schema_to_uta(big), schema_to_uta(small))
+
+
+def schema_counterexample(left: Schema, right: Schema) -> Optional[tuple[str, Tree]]:
+    """A witness tree separating the two languages, or ``None`` when equal."""
+    return tree_language_equivalence_counterexample(schema_to_uta(left), schema_to_uta(right))
+
+
+def schema_inclusion_counterexample(small: Schema, big: Schema) -> Optional[Tree]:
+    """A tree in ``[small] − [big]``, or ``None`` when included."""
+    return tree_language_counterexample(schema_to_uta(small), schema_to_uta(big))
+
+
+def schema_is_empty(schema: Schema) -> bool:
+    """Decide ``[schema] = ∅``."""
+    return tree_language_is_empty(schema_to_uta(schema))

@@ -1,0 +1,76 @@
+"""Text front ends for schema documents.
+
+Two concrete notations are accepted:
+
+* the W3C DTD element-declaration syntax used in Figure 3::
+
+      <!ELEMENT eurostat (averages, nationalIndex*)>
+      <!ELEMENT country (#PCDATA)>
+
+* the compact arrow notation the paper uses everywhere else (Figures 4-6)::
+
+      rooti -> nationalIndex*
+      nationalIndex -> country, Good, (index | value, year)
+
+Both produce a plain mapping from element names to content-model text; the
+caller decides which schema class (DTD, SDTD, EDTD) to build from it, which
+keeps specialisation mappings explicit where they are needed (Figure 6).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SchemaError
+from repro.schemas.content_model import Formalism
+from repro.schemas.dtd import DTD
+
+_ELEMENT_DECL = re.compile(r"<!ELEMENT\s+([A-Za-z_][\w\-]*)\s+(.*?)>", re.DOTALL)
+_ARROW_RULE = re.compile(r"^\s*([A-Za-z_][\w\-]*)\s*(?:->|→)\s*(.*?)\s*$")
+
+
+def parse_rules(text: str) -> dict[str, str]:
+    """Parse schema rules in either supported notation into ``{name: model-text}``.
+
+    Lines that are blank or start with ``#`` are ignored in the arrow
+    notation; ``#PCDATA``-only content models become leaf-only elements.
+    """
+    rules: dict[str, str] = {}
+    if "<!ELEMENT" in text:
+        for name, model in _ELEMENT_DECL.findall(text):
+            rules[name] = _clean_model(model)
+        if not rules:
+            raise SchemaError("no <!ELEMENT ...> declarations found")
+        return rules
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _ARROW_RULE.match(stripped)
+        if not match:
+            raise SchemaError(f"cannot parse schema rule {line!r}")
+        name, model = match.groups()
+        rules[name] = _clean_model(model)
+    if not rules:
+        raise SchemaError("the schema text contains no rules")
+    return rules
+
+
+def _clean_model(model: str) -> str:
+    cleaned = model.strip()
+    if cleaned in ("(#PCDATA)", "#PCDATA", "EMPTY"):
+        return "ε"
+    return cleaned
+
+
+def parse_dtd_text(
+    text: str, start: str | None = None, formalism: Formalism | str = Formalism.NRE
+) -> DTD:
+    """Parse a schema document into a :class:`~repro.schemas.dtd.DTD`.
+
+    The start symbol defaults to the first declared element, which matches
+    how the paper reads Figure 3 (the ``eurostat`` element).
+    """
+    rules = parse_rules(text)
+    root = start if start is not None else next(iter(rules))
+    return DTD(root, rules, formalism)

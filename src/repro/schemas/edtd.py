@@ -1,0 +1,411 @@
+"""R-EDTDs: extended DTDs / regular tree grammars (Definition 7).
+
+An R-EDTD is a quintuple ``<Sigma, Sigma~, pi, s~, mu>``: a set of
+*specialised* element names ``Sigma~``, an R-DTD over them, and a mapping
+``mu`` onto the plain element names.  A tree over ``Sigma`` is valid when
+some *witness* tree over ``Sigma~`` is valid for the underlying DTD and maps
+to it under ``mu``.  EDTDs capture exactly the unranked regular tree
+languages (Relax NG); SDTDs (W3C XSD) are the single-type restriction and
+are implemented as a subclass in :mod:`repro.schemas.sdtd`.
+
+The module also provides the *normalisation* of Section 4.3: every EDTD is
+converted, through tree-automaton determinisation, into an equivalent
+:class:`NormalizedEDTD` in which two distinct specialisations of the same
+element name always denote disjoint tree languages (Lemma 4.10).  The
+normalised form is what the top-down EDTD typing algorithms work on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from collections.abc import Mapping
+from typing import Iterable, Optional
+
+from repro.errors import SchemaError
+from repro.automata import operations as ops
+from repro.automata.nfa import EPSILON, NFA
+from repro.schemas.content_model import ContentModel, Formalism, LanguageLike, content_model
+from repro.trees.automata import UnrankedTreeAutomaton, joint_reachable_profiles
+from repro.trees.document import Tree
+
+
+class EDTD:
+    """An R-EDTD ``<Sigma, Sigma~, pi, s~, mu>``.
+
+    Parameters
+    ----------
+    start:
+        The start specialised name ``s~``.
+    rules:
+        Mapping from specialised names to content models *over specialised
+        names*.  Specialised names that occur only inside content models are
+        leaf-only.
+    mu:
+        Mapping from specialised names to element names.  Names missing from
+        the mapping map to themselves (i.e. they are not really specialised),
+        which keeps simple examples concise.
+    formalism:
+        The content-model formalism ``R``.
+    """
+
+    schema_language = "EDTD"
+
+    def __init__(
+        self,
+        start: str,
+        rules: Mapping[str, LanguageLike],
+        mu: Mapping[str, str] | None = None,
+        formalism: Formalism | str = Formalism.NRE,
+        alphabet: Iterable[str] = (),
+    ) -> None:
+        self.start = start
+        self.formalism = Formalism(formalism)
+        self.rules: dict[str, ContentModel] = {
+            name: content_model(model, self.formalism) for name, model in rules.items()
+        }
+        names = set(alphabet) | {start} | set(self.rules)
+        for model in self.rules.values():
+            names |= set(model.nfa.alphabet)
+        self.specialized_names = frozenset(names)
+        mapping = dict(mu or {})
+        for name in self.specialized_names:
+            mapping.setdefault(name, name)
+        unknown = set(mapping) - set(self.specialized_names)
+        if unknown:
+            raise SchemaError(f"mu maps unknown specialised names {sorted(unknown)!r}")
+        self.mu = mapping
+        self.alphabet = frozenset(self.mu[name] for name in self.specialized_names)
+        self._post_init_check()
+
+    def _post_init_check(self) -> None:
+        """Hook for subclasses (the single-type requirement of SDTDs)."""
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    def content(self, name: str) -> ContentModel:
+        """``pi(name)`` over specialised names; missing rules mean leaf-only."""
+        if name not in self.specialized_names:
+            raise SchemaError(f"{name!r} is not a specialised name of this type")
+        model = self.rules.get(name)
+        if model is None:
+            return ContentModel(NFA.epsilon_language(), self.formalism, check=False)
+        return model
+
+    def specializations(self, element: str) -> frozenset[str]:
+        """``Sigma~(a)``: the specialised names mapping to ``element``."""
+        return frozenset(name for name in self.specialized_names if self.mu[name] == element)
+
+    def element_of(self, name: str) -> str:
+        """``mu(name)``."""
+        return self.mu[name]
+
+    @property
+    def root_element(self) -> str:
+        """The element name of the root (``mu(s~)``)."""
+        return self.mu[self.start]
+
+    @property
+    def size(self) -> int:
+        """Size measure: specialised names plus the sizes of all content models."""
+        return len(self.specialized_names) + sum(model.size for model in self.rules.values())
+
+    def describe(self) -> str:
+        """A textual rendering in the paper's arrow notation (Figure 6 style)."""
+        lines = []
+        for name in sorted(self.rules):
+            element = self.mu[name]
+            shown = name if element == name else f"{name}[{element}]"
+            lines.append(f"{shown} -> {self.rules[name]}")
+        return "\n".join(lines) if lines else f"{self.start} (all elements are leaves)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(start={self.start!r}, "
+            f"specialized={len(self.specialized_names)}, elements={len(self.alphabet)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+
+    def to_uta(self) -> UnrankedTreeAutomaton:
+        """The nUTA whose states are the specialised names."""
+        horizontal = {}
+        for name in self.specialized_names:
+            model = self.content(name)
+            horizontal[(name, self.mu[name])] = model.nfa.with_alphabet(self.specialized_names)
+        return UnrankedTreeAutomaton(
+            self.specialized_names, self.alphabet, horizontal, {self.start}
+        )
+
+    def validate(self, tree: Tree) -> bool:
+        """Is ``tree`` in ``[tau]``?  (Some witness over ``Sigma~`` exists.)"""
+        return self.to_uta().accepts(tree)
+
+    def possible_witness_names(self, tree: Tree) -> frozenset[str]:
+        """The specialised names assignable to the root of ``tree``."""
+        return self.to_uta().possible_states(tree)
+
+    def with_start(self, start: str) -> "EDTD":
+        """The type ``tau(a~)`` of Lemma 3.4: same rules, different start."""
+        return EDTD(start, self.rules, self.mu, self.formalism, alphabet=self.specialized_names)
+
+    # ------------------------------------------------------------------ #
+    # reduction
+    # ------------------------------------------------------------------ #
+
+    def bound_names(self) -> frozenset[str]:
+        """Specialised names that can derive a finite tree."""
+        bound: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in self.specialized_names:
+                if name in bound:
+                    continue
+                model = self.content(name)
+                allowed = ops.sigma_star(bound)
+                product = ops.intersection(
+                    model.nfa.with_alphabet(self.specialized_names),
+                    allowed.with_alphabet(self.specialized_names),
+                )
+                if not product.is_empty_language():
+                    bound.add(name)
+                    changed = True
+        return frozenset(bound)
+
+    def useful_names(self) -> frozenset[str]:
+        """Specialised names occurring in at least one witness of a valid tree."""
+        bound = self.bound_names()
+        if self.start not in bound:
+            return frozenset()
+        useful = {self.start}
+        queue = [self.start]
+        while queue:
+            name = queue.pop()
+            realizable = ops.intersection(
+                self.content(name).nfa.with_alphabet(self.specialized_names),
+                ops.sigma_star(bound).with_alphabet(self.specialized_names),
+            )
+            for child in realizable.used_symbols():
+                if child not in useful:
+                    useful.add(child)
+                    queue.append(child)
+        return frozenset(useful)
+
+    def is_empty(self) -> bool:
+        return self.start not in self.bound_names()
+
+    def is_reduced(self) -> bool:
+        useful = self.useful_names()
+        if not useful or useful != self.specialized_names:
+            return False
+        return all(self.content(name).used_symbols() <= useful for name in self.specialized_names)
+
+    def reduced(self) -> "EDTD":
+        """An equivalent reduced type (only useful specialised names remain)."""
+        useful = self.useful_names()
+        if not useful:
+            raise SchemaError("the type defines the empty language and cannot be reduced")
+        rules = {}
+        for name in useful:
+            if name not in self.rules:
+                continue
+            restricted = self.rules[name].nfa.restrict_alphabet(useful).trim()
+            rules[name] = ContentModel(restricted, self.formalism, check=False)
+        mu = {name: self.mu[name] for name in useful}
+        return type(self)(self.start, rules, mu, self.formalism, alphabet=useful)
+
+
+# --------------------------------------------------------------------------- #
+# normalisation (Section 4.3)
+# --------------------------------------------------------------------------- #
+
+
+class NormalizedEDTD:
+    """The normalised form of an EDTD used by the top-down EDTD algorithms.
+
+    Its "states" are specialised names with the property of Lemma 4.10: two
+    distinct specialisations of the same element name denote disjoint tree
+    languages.  Because the normalised automaton is obtained by
+    determinisation it may need *several* admissible root names (all the
+    subset-states containing the original start), which is why this is a
+    separate class rather than an :class:`EDTD`.
+    """
+
+    def __init__(
+        self,
+        element_of: Mapping[str, str],
+        content: Mapping[str, NFA],
+        roots: Iterable[str],
+        subset_of: Mapping[str, frozenset[str]] | None = None,
+    ) -> None:
+        self.element_of = dict(element_of)
+        self.content = dict(content)
+        self.roots = frozenset(roots)
+        self.names = frozenset(self.element_of)
+        self.subset_of = dict(subset_of or {name: frozenset({name}) for name in self.names})
+        if not self.roots <= self.names:
+            raise SchemaError("roots of a normalised EDTD must be among its names")
+
+    @classmethod
+    def from_disjoint_edtd(cls, edtd: EDTD) -> "NormalizedEDTD":
+        """View an already-normalised EDTD (pairwise disjoint specialisations) directly."""
+        content = {
+            name: edtd.content(name).nfa.with_alphabet(edtd.specialized_names)
+            for name in edtd.specialized_names
+        }
+        return cls(dict(edtd.mu), content, {edtd.start})
+
+    def specializations(self, element: str) -> frozenset[str]:
+        """The normalised names of a given element name."""
+        return frozenset(name for name in self.names if self.element_of[name] == element)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(self.element_of.values())
+
+    def content_union(self, names: Iterable[str]) -> NFA:
+        """``pi(kappa(x))``: the union of the content models of a set of names."""
+        selected = [self.content[name] for name in names]
+        if not selected:
+            return NFA.empty_language(self.names)
+        return ops.union_all(selected).with_alphabet(self.names)
+
+    def to_uta(self) -> UnrankedTreeAutomaton:
+        horizontal = {
+            (name, self.element_of[name]): self.content[name].with_alphabet(self.names)
+            for name in self.names
+        }
+        return UnrankedTreeAutomaton(self.names, self.alphabet, horizontal, self.roots)
+
+    def validate(self, tree: Tree) -> bool:
+        return self.to_uta().accepts(tree)
+
+    @property
+    def size(self) -> int:
+        return len(self.names) + sum(nfa.size for nfa in self.content.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NormalizedEDTD(names={len(self.names)}, roots={len(self.roots)})"
+
+
+def is_normalized(edtd: EDTD) -> bool:
+    """Does the EDTD satisfy Lemma 4.10 (disjoint specialisation languages)?
+
+    Decided with a single reachable-subset construction: two specialisations
+    of the same element name overlap iff some tree can be assigned both.
+    """
+    uta = edtd.to_uta()
+    profiles = joint_reachable_profiles([uta])
+    for (states,) in profiles:
+        by_element: dict[str, int] = {}
+        for name in states:
+            element = edtd.mu[name]
+            by_element[element] = by_element.get(element, 0) + 1
+            if by_element[element] > 1:
+                return False
+    return True
+
+
+def normalize(edtd: EDTD, max_subsets: int = 4096) -> NormalizedEDTD:
+    """Normalise an EDTD via bottom-up determinisation (Section 4.3).
+
+    The result is language-equivalent and satisfies Lemma 4.10.  When the
+    EDTD is already normalised it is returned as a direct view so that the
+    original specialised names (and hence the typings reported to the user)
+    stay readable.
+    """
+    reduced = edtd if edtd.is_reduced() else edtd.reduced()
+    if is_normalized(reduced):
+        return NormalizedEDTD.from_disjoint_edtd(reduced)
+
+    uta = reduced.to_uta()
+    profiles = joint_reachable_profiles([uta])
+    subsets = sorted({states for (states,) in profiles if states}, key=sorted)
+    if len(subsets) > max_subsets:
+        raise MemoryError("EDTD normalisation exceeded the subset budget")
+
+    def element_of_subset(subset: frozenset[str]) -> str:
+        elements = {reduced.mu[name] for name in subset}
+        if len(elements) != 1:
+            raise SchemaError("internal error: mixed-element subset during normalisation")
+        return next(iter(elements))
+
+    names: dict[frozenset[str], str] = {}
+    counters: dict[str, int] = {}
+    for subset in subsets:
+        element = element_of_subset(subset)
+        counters[element] = counters.get(element, 0) + 1
+        names[subset] = f"{element}#{counters[element]}"
+
+    element_of = {names[subset]: element_of_subset(subset) for subset in subsets}
+    subset_of = {names[subset]: subset for subset in subsets}
+    content: dict[str, NFA] = {}
+    for subset in subsets:
+        element = element_of_subset(subset)
+        content[names[subset]] = _normalized_content(reduced, element, subset, subsets, names)
+    roots = {names[subset] for subset in subsets if reduced.start in subset}
+    return NormalizedEDTD(element_of, content, roots, subset_of)
+
+
+def _normalized_content(
+    edtd: EDTD,
+    element: str,
+    target: frozenset[str],
+    subsets: list[frozenset[str]],
+    names: Mapping[frozenset[str], str],
+) -> NFA:
+    """Horizontal DFA (as an NFA) of the normalised name ``(element, target)``.
+
+    It reads strings of normalised names ``N1 ... Nk`` and accepts exactly
+    those for which the set of original specialisations of ``element``
+    compatible with the children is ``target``.
+    """
+    original_names = sorted(edtd.specializations(element))
+    horizontals = {
+        name: edtd.content(name).nfa.remove_epsilon().with_alphabet(edtd.specialized_names)
+        for name in original_names
+    }
+
+    def initial_state() -> tuple:
+        return tuple(
+            frozenset(horizontals[name].epsilon_closure({horizontals[name].initial}))
+            for name in original_names
+        )
+
+    def advance(state: tuple, child_subset: frozenset[str]) -> tuple:
+        new_components = []
+        for index, name in enumerate(original_names):
+            nfa = horizontals[name]
+            moved: set = set()
+            for symbol in child_subset:
+                moved |= nfa.step(state[index], symbol)
+            new_components.append(frozenset(moved))
+        return tuple(new_components)
+
+    def assigned(state: tuple) -> frozenset[str]:
+        result = set()
+        for index, name in enumerate(original_names):
+            if state[index] & horizontals[name].finals:
+                result.add(name)
+        return frozenset(result)
+
+    start = initial_state()
+    dfa_states = {start}
+    transitions: dict[object, dict[str, set]] = {}
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for child_subset in subsets:
+            nxt = advance(current, child_subset)
+            transitions.setdefault(current, {}).setdefault(names[child_subset], set()).add(nxt)
+            if nxt not in dfa_states:
+                dfa_states.add(nxt)
+                queue.append(nxt)
+    finals = {state for state in dfa_states if assigned(state) == target}
+    alphabet = set(names.values())
+    return NFA(dfa_states, alphabet, transitions, start, finals).relabel(f"{names[target]}_h").trim()

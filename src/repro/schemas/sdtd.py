@@ -1,0 +1,102 @@
+"""R-SDTDs: single-type extended DTDs, the abstraction of W3C XSD (Definition 6).
+
+An SDTD is an EDTD whose *dual* automaton is deterministic: within one
+content model, at most one specialisation of each element name may occur.
+Consequently the witness of every node of a valid tree is determined by the
+node's ancestor string (Remark 3), which gives a simple linear-time
+validation algorithm implemented here (no tree-automaton run needed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NotSingleTypeError
+from repro.automata.dfa import DFA
+from repro.schemas.edtd import EDTD
+from repro.trees.document import Tree
+
+
+class SDTD(EDTD):
+    """An R-SDTD; construction fails when the single-type requirement is violated."""
+
+    schema_language = "SDTD"
+
+    def _post_init_check(self) -> None:
+        for name in self.specialized_names:
+            used = self.content(name).used_symbols()
+            seen: dict[str, str] = {}
+            for child in used:
+                element = self.mu[child]
+                if element in seen and seen[element] != child:
+                    raise NotSingleTypeError(
+                        f"content model of {name!r} uses two specialisations "
+                        f"({seen[element]!r} and {child!r}) of element {element!r}"
+                    )
+                seen[element] = child
+
+    # ------------------------------------------------------------------ #
+    # deterministic (top-down) validation
+    # ------------------------------------------------------------------ #
+
+    def witness(self, tree: Tree) -> Optional[Tree]:
+        """The unique witness tree over ``Sigma~`` of a valid tree, else ``None``.
+
+        The witness of a node depends only on its ancestor string
+        (Remark 3): the root's witness is ``s~`` and the witness of a child
+        labelled ``b`` under a node with witness ``a~`` is the unique
+        specialisation of ``b`` occurring in ``pi(a~)``.
+        """
+        if tree.label != self.root_element:
+            return None
+        return self._witness(tree, self.start)
+
+    def _witness(self, node: Tree, name: str) -> Optional[Tree]:
+        model = self.content(name)
+        used = model.used_symbols()
+        child_names = []
+        for child in node.children:
+            candidates = [cand for cand in used if self.mu[cand] == child.label]
+            if not candidates:
+                return None
+            child_names.append(candidates[0])  # unique by the single-type property
+        if not model.accepts(tuple(child_names)):
+            return None
+        witness_children = []
+        for child, child_name in zip(node.children, child_names):
+            child_witness = self._witness(child, child_name)
+            if child_witness is None:
+                return None
+            witness_children.append(child_witness)
+        return Tree(name, tuple(witness_children))
+
+    def validate(self, tree: Tree) -> bool:
+        """Deterministic validation (equivalent to, but cheaper than, the EDTD run)."""
+        return self.witness(tree) is not None
+
+    def witness_name_at(self, tree: Tree, path: tuple[int, ...]) -> Optional[str]:
+        """The specialised name the (unique) witness assigns to the node at ``path``."""
+        witness = self.witness(tree)
+        if witness is None:
+            return None
+        return witness.subtree(path).label
+
+    # ------------------------------------------------------------------ #
+    # the dual automaton over element names
+    # ------------------------------------------------------------------ #
+
+    def dual(self) -> DFA:
+        """The dual dFA over ``Sigma`` of Definition 6 (the vertical language)."""
+        initial = "__q0__"
+        states = {initial} | {f"q_{name}" for name in self.specialized_names}
+        transitions: dict[tuple[str, str], str] = {
+            (initial, self.root_element): f"q_{self.start}"
+        }
+        finals = set()
+        for name in self.specialized_names:
+            model = self.content(name)
+            for child in model.used_symbols():
+                transitions[(f"q_{name}", self.mu[child])] = f"q_{child}"
+            if model.accepts_epsilon():
+                finals.add(f"q_{name}")
+        return DFA(states, self.alphabet, transitions, initial, finals)

@@ -1,0 +1,37 @@
+"""Unranked ordered trees and unranked tree automata (Sections 2.1.1 and 2.1.3).
+
+XML documents are abstracted, as in the paper, to finite ordered unranked
+trees with labels over an alphabet of element names.  The package provides
+
+* :mod:`repro.trees.document` -- the immutable :class:`Tree` value type with
+  the paper's node predicates (``lab``, ``child-str``, ``anc-str``,
+  ``tree(x)``, ``‖t‖``),
+* :mod:`repro.trees.term` -- the compact term notation used throughout the
+  paper (``s0(a f1 b(f2))``),
+* :mod:`repro.trees.xml_io` -- conversion to and from actual XML text,
+* :mod:`repro.trees.automata` -- nondeterministic and bottom-up deterministic
+  unranked tree automata (nUTA / dUTA) with membership, emptiness, inclusion
+  and equivalence decided by joint reachable-subset construction.
+"""
+
+from repro.trees.document import Tree
+from repro.trees.term import parse_term, format_term
+from repro.trees.xml_io import tree_from_xml, tree_to_xml
+from repro.trees.automata import (
+    UnrankedTreeAutomaton,
+    tree_language_equivalent,
+    tree_language_includes,
+    tree_language_is_empty,
+)
+
+__all__ = [
+    "Tree",
+    "parse_term",
+    "format_term",
+    "tree_from_xml",
+    "tree_to_xml",
+    "UnrankedTreeAutomaton",
+    "tree_language_equivalent",
+    "tree_language_includes",
+    "tree_language_is_empty",
+]

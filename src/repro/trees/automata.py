@@ -1,0 +1,328 @@
+"""Unranked tree automata (Section 2.1.3): nUTA and dUTA.
+
+A nondeterministic unranked tree automaton is a quadruple
+``A = <K, Sigma, Delta, F>`` where ``Delta`` maps pairs ``(state, label)``
+to *horizontal* NFAs over the state set ``K``.  A tree is accepted when its
+nodes can be labelled with states so that the root gets a final state and
+every node's children-state string is accepted by the horizontal automaton
+of its own state and label.
+
+The decision procedures needed by the paper (emptiness, inclusion and
+equivalence of regular tree languages -- ``equiv[R-EDTD]`` is
+EXPTIME-complete, Theorem 4.7) are implemented by a *joint reachable-subset
+construction*: the bottom-up deterministic view of an nUTA assigns to every
+tree the set of states assignable to it, and the construction enumerates all
+jointly reachable tuples of such sets for several automata at once, together
+with witness trees.  This is the determinisation of [15] (TATA) specialised
+to what the library needs, and it also powers the EDTD normalisation of
+Section 4.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.nfa import NFA
+from repro.trees.document import Tree
+
+State = str
+Label = str
+
+#: A *profile* is the tuple of "assignable state sets", one per automaton,
+#: that some tree jointly produces in a family of automata.
+Profile = tuple[frozenset[State], ...]
+
+
+class UnrankedTreeAutomaton:
+    """A nondeterministic unranked tree automaton (nUTA)."""
+
+    __slots__ = ("states", "alphabet", "horizontal", "finals")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Label],
+        horizontal: Mapping[tuple[State, Label], NFA],
+        finals: Iterable[State],
+    ) -> None:
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.finals = frozenset(finals)
+        self.horizontal = dict(horizontal)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.finals <= self.states:
+            raise ValueError("final states must be states")
+        for (state, label), nfa in self.horizontal.items():
+            if state not in self.states:
+                raise ValueError(f"horizontal automaton attached to unknown state {state!r}")
+            if label not in self.alphabet:
+                raise ValueError(f"horizontal automaton attached to unknown label {label!r}")
+            extra = nfa.alphabet - self.states
+            if extra:
+                raise ValueError(
+                    f"horizontal automaton for {(state, label)!r} reads non-states {sorted(extra)!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """States plus the sizes of all horizontal automata (Table 2 measure)."""
+        return len(self.states) + sum(nfa.size for nfa in self.horizontal.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UnrankedTreeAutomaton(states={len(self.states)}, labels={len(self.alphabet)}, "
+            f"rules={len(self.horizontal)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def _horizontal_accepts_sets(self, nfa: NFA, child_sets: Sequence[frozenset[State]]) -> bool:
+        """Does ``nfa`` accept some word ``w`` with ``w[i]`` drawn from ``child_sets[i]``?"""
+        current = nfa.epsilon_closure({nfa.initial})
+        for child_set in child_sets:
+            moved: set = set()
+            for symbol in child_set:
+                moved |= nfa.step(current, symbol)
+            current = frozenset(moved)
+            if not current:
+                return False
+        return bool(current & nfa.finals)
+
+    def possible_states(self, tree: Tree) -> frozenset[State]:
+        """The set of states assignable to the root of ``tree`` (bottom-up)."""
+        child_sets = [self.possible_states(child) for child in tree.children]
+        if any(not child_set for child_set in child_sets):
+            return frozenset()
+        result = set()
+        for state in self.states:
+            nfa = self.horizontal.get((state, tree.label))
+            if nfa is None:
+                continue
+            if self._horizontal_accepts_sets(nfa, child_sets):
+                result.add(state)
+        return frozenset(result)
+
+    def accepts(self, tree: Tree) -> bool:
+        """Membership of ``tree`` in the tree language ``[A]``."""
+        return bool(self.possible_states(tree) & self.finals)
+
+    def __contains__(self, tree: Tree) -> bool:
+        return self.accepts(tree)
+
+
+# --------------------------------------------------------------------------- #
+# joint reachable-subset construction
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ProfileWitness:
+    """A jointly reachable profile together with a tree that realises it."""
+
+    profile: Profile
+    witness: Tree
+
+
+def _initial_components(
+    automata: Sequence[UnrankedTreeAutomaton], label: Label
+) -> tuple[tuple[frozenset, ...], ...]:
+    """Initial horizontal simulation state, per automaton and per state."""
+    components = []
+    for automaton in automata:
+        per_state = []
+        for state in sorted(automaton.states):
+            nfa = automaton.horizontal.get((state, label))
+            if nfa is None:
+                per_state.append(frozenset())
+            else:
+                per_state.append(nfa.epsilon_closure({nfa.initial}))
+        components.append(tuple(per_state))
+    return tuple(components)
+
+
+def _advance_components(
+    automata: Sequence[UnrankedTreeAutomaton],
+    label: Label,
+    components: tuple[tuple[frozenset, ...], ...],
+    profile: Profile,
+) -> tuple[tuple[frozenset, ...], ...]:
+    """Advance every horizontal simulation by one child whose profile is given."""
+    new_components = []
+    for automaton_index, automaton in enumerate(automata):
+        per_state = []
+        child_states = profile[automaton_index]
+        for state_index, state in enumerate(sorted(automaton.states)):
+            nfa = automaton.horizontal.get((state, label))
+            current = components[automaton_index][state_index]
+            if nfa is None or not current:
+                per_state.append(frozenset())
+                continue
+            moved: set = set()
+            for symbol in child_states:
+                moved |= nfa.step(current, symbol)
+            per_state.append(frozenset(moved))
+        new_components.append(tuple(per_state))
+    return tuple(new_components)
+
+
+def _profile_of_components(
+    automata: Sequence[UnrankedTreeAutomaton],
+    label: Label,
+    components: tuple[tuple[frozenset, ...], ...],
+) -> Profile:
+    """The profile produced by a node with the given final horizontal components."""
+    profile = []
+    for automaton_index, automaton in enumerate(automata):
+        assignable = set()
+        for state_index, state in enumerate(sorted(automaton.states)):
+            nfa = automaton.horizontal.get((state, label))
+            if nfa is None:
+                continue
+            if components[automaton_index][state_index] & nfa.finals:
+                assignable.add(state)
+        profile.append(frozenset(assignable))
+    return tuple(profile)
+
+
+def joint_reachable_profiles(
+    automata: Sequence[UnrankedTreeAutomaton],
+    max_profiles: int = 200_000,
+) -> dict[Profile, Tree]:
+    """All profiles jointly reachable by some tree, with one witness tree each.
+
+    This is the joint determinisation of the automata: a profile
+    ``(S_1, ..., S_m)`` is in the result iff there exists a tree ``t`` such
+    that, for every ``i``, ``S_i`` is exactly the set of states automaton
+    ``i`` can assign to ``t``.  The witness tree realises the profile.
+
+    ``max_profiles`` bounds the construction (it is exponential in the worst
+    case, which is exactly the EXPTIME lower bound of Theorem 4.7).
+    """
+    labels = sorted(set().union(*[automaton.alphabet for automaton in automata])) if automata else []
+    known: dict[Profile, Tree] = {}
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            for profile, witness in _explore_label(automata, label, known).items():
+                if profile not in known:
+                    known[profile] = witness
+                    changed = True
+                    if len(known) > max_profiles:
+                        raise MemoryError(
+                            "joint reachable-subset construction exceeded its profile budget"
+                        )
+    return known
+
+
+def _explore_label(
+    automata: Sequence[UnrankedTreeAutomaton],
+    label: Label,
+    known: dict[Profile, Tree],
+) -> dict[Profile, Tree]:
+    """Profiles producible by a node labelled ``label`` whose children realise known profiles."""
+    start = _initial_components(automata, label)
+    # Each queue entry carries the horizontal components and the child forest
+    # (as a tuple of witness trees) used to reach them.
+    queue: deque[tuple[tuple, tuple[Tree, ...]]] = deque([(start, ())])
+    seen = {start}
+    results: dict[Profile, Tree] = {}
+    known_items = list(known.items())
+    while queue:
+        components, forest = queue.popleft()
+        profile = _profile_of_components(automata, label, components)
+        if profile not in results and any(profile):
+            results[profile] = Tree(label, forest)
+        elif profile not in results:
+            # Even an all-empty profile is informative for inclusion checks
+            # (it witnesses a tree that none of the automata can process),
+            # but it never needs more than one representative.
+            results[profile] = Tree(label, forest)
+        for child_profile, child_witness in known_items:
+            new_components = _advance_components(automata, label, components, child_profile)
+            if new_components in seen:
+                continue
+            if all(not per_state for per_automaton in new_components for per_state in per_automaton):
+                # Every horizontal simulation is dead; no need to explore further.
+                seen.add(new_components)
+                continue
+            seen.add(new_components)
+            queue.append((new_components, forest + (child_witness,)))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# decision procedures
+# --------------------------------------------------------------------------- #
+
+
+def tree_language_is_empty(automaton: UnrankedTreeAutomaton) -> bool:
+    """Decide ``[A] = ∅``."""
+    profiles = joint_reachable_profiles([automaton])
+    return not any(profile[0] & automaton.finals for profile in profiles)
+
+
+def tree_language_counterexample(
+    left: UnrankedTreeAutomaton, right: UnrankedTreeAutomaton
+) -> Optional[Tree]:
+    """Return a tree in ``[left] − [right]`` or ``None`` if ``[left] ⊆ [right]``."""
+    profiles = joint_reachable_profiles([left, right])
+    for (left_states, right_states), witness in profiles.items():
+        if (left_states & left.finals) and not (right_states & right.finals):
+            return witness
+    return None
+
+
+def tree_language_includes(big: UnrankedTreeAutomaton, small: UnrankedTreeAutomaton) -> bool:
+    """Decide ``[small] ⊆ [big]``."""
+    return tree_language_counterexample(small, big) is None
+
+
+def tree_language_equivalent(left: UnrankedTreeAutomaton, right: UnrankedTreeAutomaton) -> bool:
+    """Decide ``[left] = [right]`` (``equiv`` for regular tree languages)."""
+    profiles = joint_reachable_profiles([left, right])
+    for left_states, right_states in profiles:
+        left_accepts = bool(left_states & left.finals)
+        right_accepts = bool(right_states & right.finals)
+        if left_accepts != right_accepts:
+            return False
+    return True
+
+
+def tree_language_equivalence_counterexample(
+    left: UnrankedTreeAutomaton, right: UnrankedTreeAutomaton
+) -> Optional[tuple[str, Tree]]:
+    """A witness of non-equivalence: ``("left-only" | "right-only", tree)``."""
+    profiles = joint_reachable_profiles([left, right])
+    for (left_states, right_states), witness in profiles.items():
+        left_accepts = bool(left_states & left.finals)
+        right_accepts = bool(right_states & right.finals)
+        if left_accepts and not right_accepts:
+            return ("left-only", witness)
+        if right_accepts and not left_accepts:
+            return ("right-only", witness)
+    return None
+
+
+def deterministic_state_assignments(
+    automaton: UnrankedTreeAutomaton,
+) -> dict[frozenset[State], Tree]:
+    """The reachable states of the bottom-up determinisation of ``automaton``.
+
+    Each key is a reachable "subset state" of the dUTA obtained by the
+    standard determinisation (Section 4.3 uses this to *normalise* an EDTD);
+    the value is a witness tree realising it.
+    """
+    profiles = joint_reachable_profiles([automaton])
+    return {profile[0]: witness for profile, witness in profiles.items() if profile[0]}

@@ -1,0 +1,203 @@
+"""The tree abstraction of XML documents (Section 2.1.1).
+
+A :class:`Tree` is a finite, ordered, unranked tree with string labels.  It
+is an immutable value type: two trees compare equal iff they have the same
+shape and labels, which is exactly the document-equality notion the paper
+works with (data values are abstracted away).
+
+Nodes are addressed by *paths*: tuples of child indices from the root, so
+``()`` is the root and ``(1, 0)`` is the first child of the second child of
+the root.  The paper's node predicates are provided both as methods on the
+tree (taking a path) and as convenience accessors on subtrees.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+Path = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Tree:
+    """An ordered unranked tree with labels over an alphabet of element names."""
+
+    label: str
+    children: tuple["Tree", ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise ValueError("a tree label must be a non-empty string")
+        object.__setattr__(self, "children", tuple(self.children))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def leaf(cls, label: str) -> "Tree":
+        """A single leaf node."""
+        return cls(label, ())
+
+    @classmethod
+    def node(cls, label: str, *children: "Tree | str") -> "Tree":
+        """Build a node; string children are promoted to leaves.
+
+        >>> Tree.node("s", "a", Tree.node("b", "c")).size
+        4
+        """
+        promoted = tuple(child if isinstance(child, Tree) else Tree.leaf(child) for child in children)
+        return cls(label, promoted)
+
+    # ------------------------------------------------------------------ #
+    # paper predicates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_leaf(self) -> bool:
+        """``child-str(x) = ε`` -- the node has no children."""
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """The number of nodes ``‖t‖``."""
+        return 1 + sum(child.size for child in self.children)
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (a single node has height 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height for child in self.children)
+
+    def child_str(self, path: Path = ()) -> tuple[str, ...]:
+        """``child-str(x)``: the labels of the children of the node at ``path``."""
+        return tuple(child.label for child in self.subtree(path).children)
+
+    def anc_str(self, path: Path = ()) -> tuple[str, ...]:
+        """``anc-str(x)``: the labels on the path from the root to the node (inclusive)."""
+        labels = [self.label]
+        current = self
+        for index in path:
+            current = current.children[index]
+            labels.append(current.label)
+        return tuple(labels)
+
+    def lab(self, path: Path = ()) -> str:
+        """``lab(x)``: the label of the node at ``path``."""
+        return self.subtree(path).label
+
+    def subtree(self, path: Path = ()) -> "Tree":
+        """``tree(x)``: the subtree rooted at the node at ``path``."""
+        current = self
+        for index in path:
+            try:
+                current = current.children[index]
+            except IndexError as error:
+                raise KeyError(f"no node at path {path!r}") from error
+        return current
+
+    def parent_path(self, path: Path) -> Optional[Path]:
+        """The path of the parent node, or ``None`` for the root."""
+        if not path:
+            return None
+        return path[:-1]
+
+    # ------------------------------------------------------------------ #
+    # traversals
+    # ------------------------------------------------------------------ #
+
+    def paths(self) -> Iterator[Path]:
+        """All node paths in document (pre-)order."""
+        yield ()
+        for index, child in enumerate(self.children):
+            for sub_path in child.paths():
+                yield (index,) + sub_path
+
+    def nodes(self) -> Iterator[tuple[Path, "Tree"]]:
+        """All ``(path, subtree)`` pairs in document order."""
+        for path in self.paths():
+            yield path, self.subtree(path)
+
+    def labels(self) -> frozenset[str]:
+        """The set of labels occurring in the tree."""
+        return frozenset(node.label for _path, node in self.nodes())
+
+    def leaves(self) -> Iterator[tuple[Path, "Tree"]]:
+        """All leaf nodes with their paths, in document order."""
+        for path, node in self.nodes():
+            if node.is_leaf:
+                yield path, node
+
+    def occurrences(self, label: str) -> list[Path]:
+        """Paths of all nodes carrying ``label``."""
+        return [path for path, node in self.nodes() if node.label == label]
+
+    # ------------------------------------------------------------------ #
+    # functional updates
+    # ------------------------------------------------------------------ #
+
+    def replace(self, path: Path, replacement: "Tree") -> "Tree":
+        """Return a copy of the tree with the subtree at ``path`` replaced.
+
+        This realises the *subtree exchange* operations used by the closure
+        characterisations of DTDs and SDTDs (Definitions 15 and 17).
+        """
+        if not path:
+            return replacement
+        index, rest = path[0], path[1:]
+        if index >= len(self.children):
+            raise KeyError(f"no node at path {path!r}")
+        children = list(self.children)
+        children[index] = children[index].replace(rest, replacement)
+        return Tree(self.label, tuple(children))
+
+    def splice(self, path: Path, forest: Sequence["Tree"]) -> "Tree":
+        """Replace the node at ``path`` by a *forest* of trees (in order).
+
+        This is the materialisation step of Section 2.3: a function node is
+        replaced by the forest of trees directly connected to the root of the
+        document returned by the resource.
+        """
+        if not path:
+            raise ValueError("cannot splice a forest at the root position")
+        parent = self.subtree(path[:-1])
+        index = path[-1]
+        if index >= len(parent.children):
+            raise KeyError(f"no node at path {path!r}")
+        new_children = parent.children[:index] + tuple(forest) + parent.children[index + 1 :]
+        return self.replace(path[:-1], Tree(parent.label, new_children))
+
+    def relabel(self, mapping: dict[str, str]) -> "Tree":
+        """Apply a label-to-label mapping (labels missing from the map are kept).
+
+        Used to apply the specialisation mapping ``mu`` of SDTDs/EDTDs to a
+        witness tree (``t = mu(t')``, Definition 6).
+        """
+        return Tree(
+            mapping.get(self.label, self.label),
+            tuple(child.relabel(mapping) for child in self.children),
+        )
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def __str__(self) -> str:
+        from repro.trees.term import format_term
+
+        return format_term(self)
+
+    def pretty(self, indent: int = 0) -> str:
+        """An indented multi-line rendering, useful in examples."""
+        lines = ["  " * indent + self.label]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+def forest_size(forest: Iterable[Tree]) -> int:
+    """Total number of nodes of a forest."""
+    return sum(tree.size for tree in forest)

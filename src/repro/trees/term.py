@@ -1,0 +1,126 @@
+"""The compact term notation for trees used throughout the paper.
+
+Examples from the paper::
+
+    s0(a f1 b(f2))
+    s(a c(d d) b(d(e f)))
+    eurostat(f1, nationalIndex(f2), f3)
+
+Labels are identifiers; children are separated by whitespace or commas.  The
+notation is symmetric: :func:`format_term` produces text that
+:func:`parse_term` reads back.
+
+Note that the paper occasionally juxtaposes single-character labels without
+spaces (``c(dd)``); because element names in real schemas are longer than
+one character, this parser requires explicit separators (write ``c(d d)``),
+which keeps the grammar unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TermSyntaxError
+from repro.trees.document import Tree
+
+_TOKEN = re.compile(r"\s*([A-Za-z_#][A-Za-z0-9_\-\.]*|[(),])")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN.match(text, position)
+        if not match:
+            raise TermSyntaxError(f"unexpected character {text[position]!r} at position {position} in {text!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], text: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._text = text
+
+    def peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def pop(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise TermSyntaxError(f"unexpected end of input in {self._text!r}")
+        self._pos += 1
+        return token
+
+    def parse_tree(self) -> Tree:
+        label = self.pop()
+        if label in {"(", ")", ","}:
+            raise TermSyntaxError(f"expected a label but found {label!r} in {self._text!r}")
+        children: list[Tree] = []
+        if self.peek() == "(":
+            self.pop()
+            while True:
+                token = self.peek()
+                if token == ")":
+                    self.pop()
+                    break
+                if token == ",":
+                    self.pop()
+                    continue
+                if token is None:
+                    raise TermSyntaxError(f"missing ')' in {self._text!r}")
+                children.append(self.parse_tree())
+        return Tree(label, tuple(children))
+
+    def parse(self) -> Tree:
+        tree = self.parse_tree()
+        if self.peek() is not None:
+            raise TermSyntaxError(
+                f"unexpected trailing token {self.peek()!r} in {self._text!r}"
+            )
+        return tree
+
+
+def parse_term(text: str) -> Tree:
+    """Parse the paper's term notation into a :class:`Tree`.
+
+    >>> parse_term("s0(a f1 b(f2))").size
+    5
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise TermSyntaxError("empty term")
+    return _Parser(tokens, text).parse()
+
+
+def parse_forest(text: str) -> tuple[Tree, ...]:
+    """Parse a whitespace/comma-separated sequence of terms as a forest."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, text)
+    forest: list[Tree] = []
+    while parser.peek() is not None:
+        if parser.peek() == ",":
+            parser.pop()
+            continue
+        forest.append(parser.parse_tree())
+    return tuple(forest)
+
+
+def format_term(tree: Tree) -> str:
+    """Render a tree in the paper's term notation.
+
+    >>> from repro.trees.document import Tree
+    >>> format_term(Tree.node("s", "a", Tree.node("b", "c")))
+    's(a b(c))'
+    """
+    if tree.is_leaf:
+        return tree.label
+    inner = " ".join(format_term(child) for child in tree.children)
+    return f"{tree.label}({inner})"

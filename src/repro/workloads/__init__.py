@@ -1,0 +1,13 @@
+"""Workloads: the paper's running example and synthetic design families.
+
+* :mod:`repro.workloads.eurostat` -- the National Consumer Price Index
+  example of Section 1 (Figures 1-6), used by the examples, the tests and
+  the figure benchmarks.
+* :mod:`repro.workloads.synthetic` -- parameterised families of kernels,
+  types and designs used by the table benchmarks to exhibit the growth
+  behaviours of Tables 2 and 3.
+"""
+
+from repro.workloads import eurostat, synthetic
+
+__all__ = ["eurostat", "synthetic"]

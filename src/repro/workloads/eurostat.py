@@ -1,0 +1,186 @@
+"""The Eurostat / National Consumer Price Index running example (Section 1).
+
+The paper's motivating scenario: Eurostat maintains a kernel document with
+one docking point per national statistics bureau (INSEE, Statistik, Istat,
+...) plus its own EU-wide average data, and wants to propagate a global
+schema into local schemas the bureaus can enforce independently.
+
+This module builds the artefacts of Figures 1-6:
+
+* :func:`global_dtd` -- the DTD ``τ`` of Figure 3;
+* :func:`kernel_document` -- the kernel ``T0``.  The paper draws ``T0`` with
+  the average data materialised inside the kernel; to keep the design
+  formally local (the fixed part of a kernel must not over-constrain the
+  global type) the averages are provided here by Eurostat's own internal
+  resource ``f0`` docked under the ``averages`` element, and one function
+  ``f<i>`` is docked per country;
+* :func:`figure4_typing` -- the perfect typing of Figure 4 (each country is
+  typed with ``rooti -> nationalIndex*`` plus the global rules);
+* :func:`bad_design_type` -- the EDTD ``τ'`` of Figure 5 (same format forced
+  on all countries), which admits no local typing;
+* :func:`figure6_type` and :func:`figure6_kernel` -- the design ``<τ'', T1>``
+  of Figure 6, which has no perfect typing and exactly two maximal local
+  typings;
+* :func:`national_document` -- sample country documents used to build
+  extensions like Figure 2 and to drive the distributed-validation
+  simulation.
+"""
+
+from __future__ import annotations
+
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.core.design import TopDownDesign
+from repro.core.kernel import KernelTree
+from repro.core.typing import TreeTyping, default_root_name
+from repro.trees.document import Tree
+from repro.trees.term import parse_term
+
+#: The EU countries used by default (any number of countries is supported).
+DEFAULT_COUNTRIES = ("FR", "AT", "IT", "UK")
+
+#: The goods whose price indexes national documents report.
+DEFAULT_GOODS = ("food", "energy", "education")
+
+
+def global_dtd() -> DTD:
+    """The global W3C DTD ``τ`` of Figure 3."""
+    return DTD(
+        "eurostat",
+        {
+            "eurostat": "averages, nationalIndex*",
+            "averages": "(Good, index+)+",
+            "nationalIndex": "country, Good, (index | value, year)",
+            "index": "value, year",
+        },
+    )
+
+
+def country_functions(countries: int | tuple[str, ...] = DEFAULT_COUNTRIES) -> tuple[str, ...]:
+    """The function symbols ``f1 ... fn``, one per country."""
+    count = countries if isinstance(countries, int) else len(countries)
+    return tuple(f"f{i}" for i in range(1, count + 1))
+
+
+def kernel_document(countries: int | tuple[str, ...] = DEFAULT_COUNTRIES) -> KernelTree:
+    """The kernel ``T0``: ``eurostat(averages(f0) f1 ... fn)``.
+
+    ``f0`` is Eurostat's internal resource providing the EU-wide averages;
+    ``f1 ... fn`` are the national statistics bureaus.
+    """
+    functions = country_functions(countries)
+    children = " ".join(functions)
+    return KernelTree(parse_term(f"eurostat(averages(f0) {children})"))
+
+
+def top_down_design(countries: int | tuple[str, ...] = DEFAULT_COUNTRIES) -> TopDownDesign:
+    """The top-down design ``<τ, T0>`` of Section 1."""
+    return TopDownDesign(global_dtd(), kernel_document(countries))
+
+
+def figure4_typing(countries: int | tuple[str, ...] = DEFAULT_COUNTRIES) -> TreeTyping:
+    """The perfect typing of Figure 4, written exactly as in the paper.
+
+    Each country resource is typed by ``rooti -> nationalIndex*`` together
+    with the global rules for ``nationalIndex`` and ``index``; the internal
+    averages resource is typed by ``root0 -> (Good, index+)+``.
+    """
+    base_rules = {
+        "nationalIndex": "country, Good, (index | value, year)",
+        "index": "value, year",
+    }
+    types = {}
+    averages_root = default_root_name("f0")
+    types["f0"] = DTD(averages_root, {averages_root: "(Good, index+)+", **base_rules})
+    for function in country_functions(countries):
+        root = default_root_name(function)
+        types[function] = DTD(root, {root: "nationalIndex*", **base_rules})
+    return TreeTyping(types)
+
+
+def bad_design_type() -> EDTD:
+    """The type ``τ'`` of Figure 5: every country must use the *same* index format."""
+    return EDTD(
+        "eurostat",
+        {
+            "eurostat": "averages, (natIndA* | natIndB*)",
+            "averages": "(Good, index+)+",
+            "natIndA": "country, Good, index",
+            "natIndB": "country, Good, value, year",
+            "index": "value, year",
+        },
+        mu={"natIndA": "nationalIndex", "natIndB": "nationalIndex"},
+    )
+
+
+def bad_design(countries: int | tuple[str, ...] = DEFAULT_COUNTRIES) -> TopDownDesign:
+    """The design ``<τ', T0>`` of Figure 5 (admits no local typing for >= 2 countries)."""
+    return TopDownDesign(bad_design_type(), kernel_document(countries))
+
+
+def figure6_type() -> EDTD:
+    """The type ``τ''`` of Figure 6: alternating nationalIndex formats."""
+    return EDTD(
+        "eurostat",
+        {
+            "eurostat": "averages, (natIndA, natIndB)+",
+            "averages": "(Good, index+)+",
+            "natIndA": "country, Good, index",
+            "natIndB": "country, Good, value, year",
+            "index": "value, year",
+        },
+        mu={"natIndA": "nationalIndex", "natIndB": "nationalIndex"},
+    )
+
+
+def figure6_kernel() -> KernelTree:
+    """The kernel ``T1 = eurostat(f1, nationalIndex(f2), f3)`` of Section 1."""
+    return KernelTree(parse_term("eurostat(f1 nationalIndex(f2) f3)"))
+
+
+def figure6_design() -> TopDownDesign:
+    """The design ``<τ'', T1>``: no perfect typing, exactly two maximal local typings."""
+    return TopDownDesign(figure6_type(), figure6_kernel())
+
+
+# --------------------------------------------------------------------------- #
+# sample documents (Figure 2 and the distributed-validation workload)
+# --------------------------------------------------------------------------- #
+
+
+def averages_document(goods: tuple[str, ...] = DEFAULT_GOODS, years: int = 2) -> Tree:
+    """A document for Eurostat's internal averages resource (rooted at ``root_f0``)."""
+    children = []
+    for good in goods:
+        children.append(Tree.leaf("Good"))
+        for _year in range(max(1, years)):
+            children.append(parse_term("index(value year)"))
+    return Tree(default_root_name("f0"), tuple(children))
+
+
+def national_document(
+    function: str,
+    goods: tuple[str, ...] = DEFAULT_GOODS,
+    use_index_format: bool = True,
+) -> Tree:
+    """A document for one national bureau (rooted at the function's root element).
+
+    ``use_index_format`` selects between the two formats allowed by Figure 3:
+    ``(country, Good, index)`` or ``(country, Good, value, year)``.
+    """
+    entries = []
+    for good in goods:
+        if use_index_format:
+            entries.append(parse_term("nationalIndex(country Good index(value year))"))
+        else:
+            entries.append(parse_term("nationalIndex(country Good value year)"))
+    return Tree(default_root_name(function), tuple(entries))
+
+
+def full_extension(countries: int | tuple[str, ...] = DEFAULT_COUNTRIES) -> Tree:
+    """A complete NCPI document (the shape of Figure 2)."""
+    kernel = kernel_document(countries)
+    assignment = {"f0": averages_document()}
+    for position, function in enumerate(country_functions(countries)):
+        assignment[function] = national_document(function, use_index_format=(position % 2 == 0))
+    return kernel.extension(assignment)

@@ -1,0 +1,204 @@
+"""Synthetic, parameterised design families used by the benchmarks.
+
+Each family isolates one phenomenon of the paper's complexity tables:
+
+* :func:`bottom_up_chain` -- bottom-up designs with ``n`` resources whose
+  global type stays linear (Table 2, nFA/nRE rows);
+* :func:`dfa_blowup_design` -- a bottom-up design whose ``typeT(τn)`` needs
+  an exponentially larger deterministic content model (Table 2, dFA row);
+* :func:`word_topdown_design` -- top-down DTD designs over a growing target
+  content model (Table 3, columns 1);
+* :func:`edtd_topdown_design` -- top-down EDTD designs with a growing number
+  of specialisations (Table 3, column 2);
+* :func:`random_valid_document` -- random documents valid for a DTD, used by
+  the distributed-validation workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.automata.nfa import NFA
+from repro.core.design import BottomUpDesign, TopDownDesign
+from repro.core.kernel import KernelTree
+from repro.core.typing import TreeTyping, default_root_name
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.trees.document import Tree
+from repro.trees.term import parse_term
+
+
+# --------------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------------- #
+
+
+def flat_kernel(n: int, root: str = "s0") -> KernelTree:
+    """The kernel ``s0(f1 ... fn)``."""
+    children = " ".join(f"f{i}" for i in range(1, n + 1))
+    return KernelTree(parse_term(f"{root}({children})" if n else root))
+
+
+def interleaved_kernel(n: int, separator: str = "sep", root: str = "s0") -> KernelTree:
+    """The kernel ``s0(f1 sep f2 sep ... fn)`` with fixed separators between functions."""
+    pieces: list[str] = []
+    for i in range(1, n + 1):
+        if i > 1:
+            pieces.append(separator)
+        pieces.append(f"f{i}")
+    return KernelTree(parse_term(f"{root}({' '.join(pieces)})"))
+
+
+# --------------------------------------------------------------------------- #
+# bottom-up families (Table 2)
+# --------------------------------------------------------------------------- #
+
+
+def bottom_up_chain(n: int) -> BottomUpDesign:
+    """``n`` resources, each typed ``root_fi -> (xi)*`` -- cons is cheap, typeT linear."""
+    kernel = flat_kernel(n)
+    types = {}
+    for i in range(1, n + 1):
+        root = default_root_name(f"f{i}")
+        types[f"f{i}"] = DTD(root, {root: f"x{i}*"})
+    return BottomUpDesign(TreeTyping(types), kernel)
+
+
+def dfa_blowup_design(k: int) -> BottomUpDesign:
+    """A 2-resource design whose merged content model is ``(a|b)* a (a|b)^(k-1)``.
+
+    The nFA representation of ``typeT(τn)`` stays linear in ``k`` while its
+    deterministic content model needs about ``2^k`` states (Table 2, dFA row).
+    """
+    kernel = flat_kernel(2)
+    prefix_root = default_root_name("f1")
+    suffix_root = default_root_name("f2")
+    suffix = ", ".join(["(a | b)"] * (k - 1)) if k > 1 else ""
+    suffix_model = f"a, {suffix}" if suffix else "a"
+    typing = TreeTyping(
+        {
+            "f1": DTD(prefix_root, {prefix_root: "(a | b)*"}),
+            "f2": DTD(suffix_root, {suffix_root: suffix_model}),
+        }
+    )
+    return BottomUpDesign(typing, kernel)
+
+
+def non_consistent_design(n: int) -> BottomUpDesign:
+    """A design that is EDTD-consistent but neither DTD- nor SDTD-consistent.
+
+    The kernel has ``n`` sibling ``a`` nodes whose resources return different
+    leaf labels, so the language is not closed under subtree exchange.
+    """
+    children = " ".join(f"a(f{i})" for i in range(1, n + 1))
+    kernel = KernelTree(parse_term(f"s0({children})"))
+    types = {}
+    for i in range(1, n + 1):
+        root = default_root_name(f"f{i}")
+        types[f"f{i}"] = DTD(root, {root: f"b{i}"})
+    return BottomUpDesign(TreeTyping(types), kernel)
+
+
+# --------------------------------------------------------------------------- #
+# top-down families (Table 3)
+# --------------------------------------------------------------------------- #
+
+
+def word_topdown_design(k: int, functions: int = 2) -> TopDownDesign:
+    """A DTD design whose root content model is ``(a1, ..., ak)+`` split over ``functions``.
+
+    For ``functions = 2`` this generalises Example 5: the design admits
+    several maximal local typings and no perfect one (for ``k >= 2``).
+    """
+    symbols = ", ".join(f"a{i}" for i in range(1, k + 1))
+    target = DTD("s0", {"s0": f"({symbols})+"})
+    return TopDownDesign(target, flat_kernel(functions))
+
+
+def separable_topdown_design(k: int) -> TopDownDesign:
+    """A DTD design with a perfect typing (generalised Example 3).
+
+    The root content model is ``m0, a1*, m1, a2*, m2, ..., ak*, mk`` and the
+    kernel interleaves the ``k`` functions with the fixed markers, so the
+    perfect typing assigns ``ai*`` to function ``fi``.
+    """
+    content_pieces = ["m0"]
+    kernel_pieces = ["m0"]
+    for i in range(1, k + 1):
+        content_pieces.append(f"a{i}*")
+        content_pieces.append(f"m{i}")
+        kernel_pieces.append(f"f{i}")
+        kernel_pieces.append(f"m{i}")
+    target = DTD("s0", {"s0": ", ".join(content_pieces)})
+    kernel = KernelTree(parse_term(f"s0({' '.join(kernel_pieces)})"))
+    return TopDownDesign(target, kernel)
+
+
+def edtd_topdown_design(k: int) -> TopDownDesign:
+    """An EDTD design with ``k`` disjoint specialisations of one element.
+
+    The target requires the sequence ``b1 b2 ... bk`` of specialisations
+    below the root; the kernel fixes one ``b`` node in the middle and leaves
+    the rest to two resources, so the κ machinery of Section 4.3 has ``k``
+    candidate assignments for the fixed node.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    rules: dict[str, str] = {"s0": ", ".join(f"b{i}" for i in range(1, k + 1))}
+    mu: dict[str, str] = {}
+    for i in range(1, k + 1):
+        rules[f"b{i}"] = f"c{i}"
+        mu[f"b{i}"] = "b"
+    target = EDTD("s0", rules, mu)
+    kernel = KernelTree(parse_term("s0(f1 b(f2) f3)"))
+    return TopDownDesign(target, kernel)
+
+
+# --------------------------------------------------------------------------- #
+# random documents
+# --------------------------------------------------------------------------- #
+
+
+def sample_content_word(nfa: NFA, rng: random.Random, max_length: int = 8) -> Optional[tuple[str, ...]]:
+    """Sample a word of ``[nfa]`` by a random walk biased towards short words."""
+    coreachable = nfa.coreachable_states()
+    current = nfa.epsilon_closure({nfa.initial}) & coreachable
+    if not current:
+        return None
+    word: list[str] = []
+    while True:
+        can_stop = bool(current & nfa.finals)
+        if can_stop and (len(word) >= max_length or rng.random() < 0.4):
+            return tuple(word)
+        moves = []
+        for symbol in sorted(nfa.alphabet):
+            nxt = nfa.step(current, symbol) & coreachable
+            if nxt:
+                moves.append((symbol, nxt))
+        if not moves:
+            return tuple(word) if can_stop else None
+        symbol, nxt = rng.choice(moves)
+        word.append(symbol)
+        current = nxt
+        if len(word) > 4 * max_length:
+            # Safety valve for content models without short accepting runs.
+            return tuple(word) if can_stop else None
+
+
+def random_valid_document(
+    dtd: DTD, rng: random.Random | int = 0, max_children: int = 8, max_depth: int = 12
+) -> Tree:
+    """A random document valid for ``dtd`` (used by the distributed-validation workload)."""
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+
+    def build(label: str, depth: int) -> Tree:
+        if depth >= max_depth:
+            return Tree.leaf(label)
+        model = dtd.content(label)
+        word = sample_content_word(model.nfa, generator, max_children)
+        if word is None:
+            word = ()
+        return Tree(label, tuple(build(child, depth + 1) for child in word))
+
+    return build(dtd.start, 0)

@@ -1,0 +1,66 @@
+"""Tests for the one-unambiguity (dRE definability) decision procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.determinism import is_one_unambiguous
+from repro.automata.dfa import minimal_dfa
+from repro.automata.nfa import NFA
+from repro.automata.regex import is_deterministic_regex, regex_to_nfa
+
+
+class TestOneUnambiguous:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a*b*",
+            "(ab)*",
+            "a?(b|c)",
+            "a*bc*",
+            "(a|b)*",
+            "b?(ab?)*",
+            "a(b|c)*d",
+            "country, Good, (index | value, year)",
+        ],
+    )
+    def test_languages_of_deterministic_expressions_are_one_unambiguous(self, expression):
+        names = "," in expression
+        assert is_deterministic_regex(expression, names=names)
+        assert is_one_unambiguous(expression, names=names)
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            # The classic BKW non-one-unambiguous language.
+            "(a|b)*a(a|b)",
+            # Its generalisation (second letter from the end is an a).
+            "(a|b)*a(a|b)(a|b)",
+        ],
+    )
+    def test_known_non_one_unambiguous_languages(self, expression):
+        assert not is_one_unambiguous(expression)
+
+    def test_language_not_expression_is_what_matters(self):
+        # (a|b)*a... as an *expression* "(b*a)+b*a" hmm; simpler: a|a is a
+        # nondeterministic expression but its language {a} is one-unambiguous.
+        assert not is_deterministic_regex("a|a")
+        assert is_one_unambiguous("a|a")
+
+    def test_accepts_automata_input(self):
+        nfa = regex_to_nfa("a*b*")
+        assert is_one_unambiguous(nfa)
+        assert is_one_unambiguous(minimal_dfa(nfa))
+
+    def test_empty_and_epsilon_languages(self):
+        assert is_one_unambiguous(NFA.empty_language({"a"}))
+        assert is_one_unambiguous(NFA.epsilon_language({"a"}))
+
+    def test_finite_languages(self):
+        assert is_one_unambiguous("ab|ba")
+        assert is_one_unambiguous("abc")
+
+    def test_paper_proposition_3_6_item_4_language(self):
+        # {(a+b)^m b (a+b)^n : m <= n} with m=1, n=1 is one-unambiguous per
+        # Proposition 3.6(4); the m=n=1 instance is (a|b)b(a|b).
+        assert is_one_unambiguous("(a|b)b(a|b)")

@@ -1,0 +1,223 @@
+"""Unit tests for the NFA substrate (Section 2.1.2 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import EPSILON, NFA, as_word, product_words
+
+
+def simple_nfa() -> NFA:
+    """An automaton for the language a(b|c)* used across these tests."""
+    return NFA(
+        states={0, 1},
+        alphabet={"a", "b", "c"},
+        transitions={0: {"a": {1}}, 1: {"b": {1}, "c": {1}}},
+        initial=0,
+        finals={1},
+    )
+
+
+class TestConstruction:
+    def test_as_word_splits_strings_into_characters(self):
+        assert as_word("abc") == ("a", "b", "c")
+
+    def test_as_word_keeps_symbol_sequences(self):
+        assert as_word(["index", "value"]) == ("index", "value")
+
+    def test_from_word_accepts_exactly_that_word(self):
+        nfa = NFA.from_word("aba")
+        assert nfa.accepts("aba")
+        assert not nfa.accepts("ab")
+        assert not nfa.accepts("abaa")
+
+    def test_from_finite_language(self):
+        nfa = NFA.from_finite_language(["ab", "ba"])
+        assert nfa.accepts("ab")
+        assert nfa.accepts("ba")
+        assert not nfa.accepts("aa")
+        assert not nfa.accepts("")
+
+    def test_empty_language_accepts_nothing(self):
+        nfa = NFA.empty_language({"a"})
+        assert not nfa.accepts("")
+        assert not nfa.accepts("a")
+        assert nfa.is_empty_language()
+
+    def test_epsilon_language_accepts_only_epsilon(self):
+        nfa = NFA.epsilon_language({"a"})
+        assert nfa.accepts("")
+        assert not nfa.accepts("a")
+
+    def test_universal_accepts_everything(self):
+        nfa = NFA.universal({"a", "b"})
+        for word in ("", "a", "b", "abba"):
+            assert nfa.accepts(word)
+
+    def test_symbol_automaton(self):
+        nfa = NFA.symbol("nationalIndex")
+        assert nfa.accepts(["nationalIndex"])
+        assert not nfa.accepts([])
+
+    def test_invalid_initial_state_rejected(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {}, 1, set())
+
+    def test_invalid_final_state_rejected(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {}, 0, {1})
+
+    def test_transition_with_unknown_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {0: {"b": {0}}}, 0, {0})
+
+
+class TestRuns:
+    def test_accepts_and_contains(self):
+        nfa = simple_nfa()
+        assert nfa.accepts("a")
+        assert nfa.accepts("abc")
+        assert "abcb" in nfa
+        assert not nfa.accepts("")
+        assert not nfa.accepts("ba")
+
+    def test_run_returns_reached_states(self):
+        nfa = simple_nfa()
+        assert nfa.run("a") == frozenset({1})
+        assert nfa.run("b") == frozenset()
+
+    def test_run_from_custom_start(self):
+        nfa = simple_nfa()
+        assert nfa.run("b", start={1}) == frozenset({1})
+
+    def test_epsilon_closure(self):
+        nfa = NFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={0: {EPSILON: {1}}, 1: {EPSILON: {2}}},
+            initial=0,
+            finals={2},
+        )
+        assert nfa.epsilon_closure({0}) == frozenset({0, 1, 2})
+        assert nfa.accepts("")
+
+    def test_accepts_epsilon(self):
+        assert NFA.epsilon_language().accepts_epsilon()
+        assert not simple_nfa().accepts_epsilon()
+
+
+class TestReachability:
+    def test_reachable_states(self):
+        nfa = NFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={0: {"a": {1}}},
+            initial=0,
+            finals={1},
+        )
+        assert nfa.reachable_states() == frozenset({0, 1})
+
+    def test_coreachable_states(self):
+        nfa = NFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={0: {"a": {1}}, 2: {"a": {1}}},
+            initial=0,
+            finals={1},
+        )
+        assert nfa.coreachable_states() == frozenset({0, 1, 2})
+
+    def test_trim_removes_useless_states(self):
+        nfa = NFA(
+            states={0, 1, 2, 3},
+            alphabet={"a"},
+            transitions={0: {"a": {1, 2}}, 2: {"a": {2}}},
+            initial=0,
+            finals={1},
+        )
+        trimmed = nfa.trim()
+        assert 2 not in trimmed.states
+        assert 3 not in trimmed.states
+        assert trimmed.accepts("a")
+
+    def test_trim_keeps_initial_even_when_language_empty(self):
+        nfa = NFA.empty_language({"a"})
+        trimmed = nfa.trim()
+        assert trimmed.initial in trimmed.states
+
+
+class TestTransformations:
+    def test_relabel_preserves_language(self):
+        nfa = simple_nfa()
+        relabeled = nfa.relabel()
+        for word in ("a", "ab", "ac", "", "b"):
+            assert nfa.accepts(word) == relabeled.accepts(word)
+
+    def test_map_states_requires_injectivity(self):
+        nfa = simple_nfa()
+        with pytest.raises(ValueError):
+            nfa.map_states({0: "x", 1: "x"})
+
+    def test_rename_symbols(self):
+        nfa = simple_nfa()
+        renamed = nfa.rename_symbols({"a": "x"})
+        assert renamed.accepts("xb")
+        assert not renamed.accepts("ab")
+
+    def test_remove_epsilon_preserves_language(self):
+        nfa = NFA(
+            states={0, 1, 2},
+            alphabet={"a", "b"},
+            transitions={0: {EPSILON: {1}}, 1: {"a": {2}}, 2: {"b": {2}}},
+            initial=0,
+            finals={2},
+        )
+        plain = nfa.remove_epsilon()
+        assert not plain.has_epsilon_transitions()
+        for word in ("a", "ab", "abb", "", "b"):
+            assert nfa.accepts(word) == plain.accepts(word)
+
+    def test_fragment_language_is_paths_between_states(self):
+        nfa = simple_nfa()
+        fragment = nfa.fragment(1, 1)
+        assert fragment.accepts("")
+        assert fragment.accepts("bcb")
+        assert not fragment.accepts("a")
+
+    def test_fragment_rejects_unknown_states(self):
+        with pytest.raises(ValueError):
+            simple_nfa().fragment(0, 99)
+
+
+class TestLanguageExploration:
+    def test_enumerate_language(self):
+        nfa = simple_nfa()
+        words = set(nfa.enumerate_language(2))
+        assert words == {("a",), ("a", "b"), ("a", "c")}
+
+    def test_shortest_word(self):
+        assert simple_nfa().shortest_word() == ("a",)
+        assert NFA.empty_language({"a"}).shortest_word() is None
+
+    def test_used_symbols_ignores_useless_transitions(self):
+        nfa = NFA(
+            states={0, 1, 2},
+            alphabet={"a", "b"},
+            transitions={0: {"a": {1}}, 1: {"b": {2}}},
+            initial=0,
+            finals={1},
+        )
+        assert nfa.used_symbols() == frozenset({"a"})
+
+    def test_size_accounting(self):
+        nfa = simple_nfa()
+        assert nfa.transition_count() == 3
+        assert nfa.size == 5
+
+    def test_describe_mentions_transitions(self):
+        text = simple_nfa().describe()
+        assert "--a-->" in text
+
+    def test_product_words(self):
+        parts = [[("a",), ("b",)], [("c",)]]
+        assert set(product_words(parts)) == {("a", "c"), ("b", "c")}

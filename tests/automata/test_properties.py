@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the string-automata substrate.
+
+Each property compares an algebraic construction against a brute-force
+oracle on all words up to a small length, over the two-letter alphabet
+``{a, b}`` -- small enough to stay fast, large enough to exercise every
+branch of the constructions.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.automata import operations as ops
+from repro.automata.determinism import is_one_unambiguous
+from repro.automata.dfa import DFA, minimal_dfa
+from repro.automata.equivalence import equivalent, includes
+from repro.automata.nfa import NFA
+from repro.automata.regex import (
+    Concat,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    glushkov_nfa,
+    is_deterministic_regex,
+)
+
+ALPHABET = ("a", "b")
+MAX_WORD_LENGTH = 4
+
+symbols = st.sampled_from(ALPHABET)
+words = st.lists(symbols, max_size=MAX_WORD_LENGTH).map(tuple)
+
+
+def _union(children: tuple[Regex, Regex]) -> Regex:
+    return Union(children)
+
+
+def _concat(children: tuple[Regex, Regex]) -> Regex:
+    return Concat(children)
+
+
+regexes = st.recursive(
+    st.one_of(symbols.map(Sym), st.just(Epsilon())),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(_union),
+        st.tuples(children, children).map(_concat),
+        children.map(Star),
+        children.map(Plus),
+        children.map(Opt),
+    ),
+    max_leaves=5,
+)
+
+
+def language(nfa: NFA) -> frozenset:
+    return nfa.language_upto(MAX_WORD_LENGTH)
+
+
+class TestRationalOperations:
+    @given(regexes, regexes)
+    def test_union_is_set_union(self, left, right):
+        combined = ops.union(left.to_nfa(), right.to_nfa())
+        assert language(combined) == language(left.to_nfa()) | language(right.to_nfa())
+
+    @given(regexes, regexes)
+    def test_intersection_is_set_intersection(self, left, right):
+        combined = ops.intersection(left.to_nfa(), right.to_nfa())
+        assert language(combined) == language(left.to_nfa()) & language(right.to_nfa())
+
+    @given(regexes, regexes)
+    def test_concatenation_matches_pairwise_joins(self, left, right):
+        combined = ops.concat(left.to_nfa(), right.to_nfa())
+        expected = {
+            u + v
+            for u in language(left.to_nfa())
+            for v in language(right.to_nfa())
+            if len(u) + len(v) <= MAX_WORD_LENGTH
+        }
+        observed = {word for word in language(combined) if len(word) <= MAX_WORD_LENGTH}
+        assert observed == expected
+
+    @given(regexes, words)
+    def test_complement_flips_membership(self, regex, word):
+        nfa = regex.to_nfa()
+        complement = ops.complement(nfa, ALPHABET)
+        assert complement.accepts(word) == (not nfa.accepts(word))
+
+    @given(regexes)
+    def test_double_reversal_is_identity(self, regex):
+        nfa = regex.to_nfa()
+        assert equivalent(ops.reverse(ops.reverse(nfa)), nfa, ALPHABET)
+
+    @given(regexes)
+    def test_star_contains_epsilon_and_square(self, regex):
+        nfa = regex.to_nfa()
+        star = ops.kleene_star(nfa)
+        assert star.accepts(())
+        assert includes(star, nfa, ALPHABET)
+        assert includes(star, ops.concat(nfa, nfa), ALPHABET)
+
+
+class TestDeterminisation:
+    @given(regexes)
+    def test_subset_construction_preserves_the_language(self, regex):
+        nfa = regex.to_nfa()
+        dfa = DFA.from_nfa(nfa.remove_epsilon())
+        assert language(nfa) == frozenset(
+            word for word in language(NFA.universal(ALPHABET)) if dfa.accepts(word)
+        )
+
+    @given(regexes)
+    def test_minimisation_preserves_the_language(self, regex):
+        nfa = regex.to_nfa()
+        assert equivalent(minimal_dfa(nfa).to_nfa(), nfa, ALPHABET)
+
+    @given(regexes, regexes)
+    def test_equivalence_agrees_with_bounded_enumeration(self, left, right):
+        same = equivalent(left.to_nfa(), right.to_nfa(), ALPHABET)
+        if same:
+            assert language(left.to_nfa()) == language(right.to_nfa())
+        else:
+            # A counter-example exists, though possibly longer than the bound.
+            pass
+
+    @given(regexes)
+    def test_epsilon_removal_preserves_the_language(self, regex):
+        nfa = regex.to_nfa()
+        assert language(nfa) == language(nfa.remove_epsilon())
+
+
+class TestRegexTranslations:
+    @given(regexes)
+    def test_glushkov_equals_thompson(self, regex):
+        assert equivalent(regex.to_nfa(), glushkov_nfa(regex), ALPHABET)
+
+    @given(regexes)
+    def test_nullable_agrees_with_acceptance_of_epsilon(self, regex):
+        assert regex.nullable() == regex.to_nfa().accepts(())
+
+    @given(regexes)
+    def test_deterministic_expressions_define_one_unambiguous_languages(self, regex):
+        if is_deterministic_regex(regex):
+            assert is_one_unambiguous(regex)
+
+    @given(regexes)
+    def test_parse_of_str_round_trips_the_language(self, regex):
+        from repro.automata.regex import parse_regex
+
+        reparsed = parse_regex(str(regex), names=True)
+        assert equivalent(regex.to_nfa(), reparsed.to_nfa(), ALPHABET)

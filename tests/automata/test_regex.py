@@ -1,0 +1,151 @@
+"""Tests for the regular-expression front end (parser, Thompson, Glushkov, dRE)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.automata.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Opt,
+    Plus,
+    Star,
+    Sym,
+    Union,
+    ensure_nfa,
+    glushkov_nfa,
+    is_deterministic_regex,
+    parse_regex,
+    regex_to_nfa,
+)
+from repro.automata.equivalence import equivalent
+from repro.automata.nfa import NFA
+
+
+class TestParser:
+    def test_single_symbol(self):
+        assert parse_regex("a") == Sym("a")
+
+    def test_concatenation_by_juxtaposition(self):
+        assert parse_regex("abc") == Concat((Sym("a"), Sym("b"), Sym("c")))
+
+    def test_union_with_bar(self):
+        assert parse_regex("a|b") == Union((Sym("a"), Sym("b")))
+
+    def test_union_with_binary_plus_like_the_paper(self):
+        # Example 11 of the paper: "ab + ba".
+        assert parse_regex("ab + ba") == Union(
+            (Concat((Sym("a"), Sym("b"))), Concat((Sym("b"), Sym("a"))))
+        )
+
+    def test_postfix_plus_at_end(self):
+        assert parse_regex("(ab)+") == Plus(Concat((Sym("a"), Sym("b"))))
+
+    def test_postfix_plus_before_operator(self):
+        # Figure 3: "(Good, index+)+" -- inner + is postfix because ')' follows.
+        parsed = parse_regex("(Good, index+)+", names=True)
+        assert parsed == Plus(Concat((Sym("Good"), Plus(Sym("index")))))
+
+    def test_star_and_optional(self):
+        assert parse_regex("a*b?") == Concat((Star(Sym("a")), Opt(Sym("b"))))
+
+    def test_paper_mixed_expression(self):
+        # Section 8's example "af?ba+": a f? b a+ (the final + is postfix).
+        assert parse_regex("af?ba+") == Concat(
+            (Sym("a"), Opt(Sym("f")), Sym("b"), Plus(Sym("a")))
+        )
+
+    def test_epsilon_and_empty(self):
+        assert parse_regex("ε") == Epsilon()
+        assert parse_regex("") == Epsilon()
+        assert parse_regex("∅") == EmptySet()
+        assert parse_regex("eps", names=True) == Epsilon()
+
+    def test_names_mode_identifiers(self):
+        parsed = parse_regex("country, Good, (index | value, year)", names=True)
+        assert parsed == Concat(
+            (
+                Sym("country"),
+                Sym("Good"),
+                Union((Sym("index"), Concat((Sym("value"), Sym("year"))))),
+            )
+        )
+
+    def test_pcdata_is_treated_as_leaf(self):
+        assert parse_regex("#PCDATA", names=True) == Epsilon()
+
+    def test_unbalanced_parenthesis_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(ab")
+
+    def test_unexpected_operator_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a)b")
+
+    def test_str_round_trip_preserves_language(self):
+        for text in ("a*bc*", "(ab)+", "a|b|c", "a?(b|c)*"):
+            regex = parse_regex(text)
+            again = parse_regex(str(regex), names=True)
+            assert equivalent(regex.to_nfa(), again.to_nfa())
+
+
+class TestTranslation:
+    @pytest.mark.parametrize(
+        "expression, accepted, rejected",
+        [
+            ("a*bc*", ["b", "ab", "abcc", "aab"], ["", "a", "ac", "ba"]),
+            ("(ab)+", ["ab", "abab"], ["", "a", "aba"]),
+            ("a|b|c", ["a", "b", "c"], ["", "ab"]),
+            ("a?b", ["b", "ab"], ["a", "aab"]),
+            ("(a|b)*a(a|b)", ["aa", "ab", "baa"], ["a", "b", ""]),
+        ],
+    )
+    def test_thompson_semantics(self, expression, accepted, rejected):
+        nfa = regex_to_nfa(expression)
+        for word in accepted:
+            assert nfa.accepts(word), (expression, word)
+        for word in rejected:
+            assert not nfa.accepts(word), (expression, word)
+
+    @pytest.mark.parametrize(
+        "expression",
+        ["a*bc*", "(ab)+", "a|b|c", "a?b", "(a|b)*a(a|b)", "ab + ba", "(a|b)*abb", "a(b|c)*d?"],
+    )
+    def test_glushkov_equals_thompson(self, expression):
+        assert equivalent(regex_to_nfa(expression), glushkov_nfa(expression))
+
+    def test_glushkov_is_epsilon_free(self):
+        assert not glushkov_nfa("a*(b|c)+").has_epsilon_transitions()
+
+    def test_ensure_nfa_coercions(self):
+        from repro.automata.dfa import minimal_dfa
+
+        nfa = regex_to_nfa("ab")
+        assert ensure_nfa(nfa) is nfa
+        assert ensure_nfa("ab").accepts("ab")
+        assert ensure_nfa(parse_regex("ab")).accepts("ab")
+        assert ensure_nfa(minimal_dfa(nfa)).accepts("ab")
+        with pytest.raises(TypeError):
+            ensure_nfa(42)
+
+
+class TestDeterministicExpressions:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("a*b*", True),
+            ("(ab)*", True),
+            ("a?(b|c)", True),
+            ("(a|b)*a", False),        # two competing 'a' positions
+            ("(a|b)*a(a|b)", False),
+            ("a*bc*", True),
+            ("b?(ab?)*", True),
+        ],
+    )
+    def test_is_deterministic_regex(self, expression, expected):
+        assert is_deterministic_regex(expression) is expected
+
+    def test_empty_set_is_deterministic(self):
+        assert is_deterministic_regex("∅")

@@ -1,0 +1,88 @@
+"""Tests for the automaton-to-expression translation (state elimination)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.automata.equivalence import equivalent
+from repro.automata.nfa import NFA
+from repro.automata.regex import Concat, Epsilon, Opt, Plus, Star, Sym, Union, parse_regex, regex_to_nfa
+from repro.automata.to_regex import nfa_to_regex, nfa_to_regex_text, simplify_concat, simplify_star, simplify_union
+from repro.automata.regex import EmptySet
+
+
+class TestSimplifiers:
+    def test_union_identities(self):
+        a, b = Sym("a"), Sym("b")
+        assert simplify_union(EmptySet(), a) == a
+        assert simplify_union(a, EmptySet()) == a
+        assert simplify_union(a, a) == a
+        assert simplify_union(Epsilon(), Star(a)) == Star(a)
+        assert simplify_union(Plus(a), Epsilon()) == Star(a)
+        assert simplify_union(a, Epsilon()) == Opt(a)
+        assert simplify_union(Opt(a), Epsilon()) == Opt(a)
+        assert simplify_union(Union((a, b)), b) == Union((a, b))
+
+    def test_concat_identities(self):
+        a, b = Sym("a"), Sym("b")
+        assert simplify_concat(EmptySet(), a) == EmptySet()
+        assert simplify_concat(Epsilon(), a) == a
+        assert simplify_concat(a, Epsilon()) == a
+        assert simplify_concat(Star(a), a) == Plus(a)
+        assert simplify_concat(a, Star(a)) == Plus(a)
+        assert simplify_concat(Concat((a, b)), a) == Concat((a, b, a))
+
+    def test_star_identities(self):
+        a = Sym("a")
+        assert simplify_star(EmptySet()) == Epsilon()
+        assert simplify_star(Epsilon()) == Epsilon()
+        assert simplify_star(Star(a)) == Star(a)
+        assert simplify_star(Plus(a)) == Star(a)
+        assert simplify_star(Opt(a)) == Star(a)
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize(
+        "expression",
+        ["a*bc*", "(ab)+", "ab + ba", "a?(b|c)*", "(a|b)*abb", "ε", "a(bc)*d"],
+    )
+    def test_round_trip_preserves_the_language(self, expression):
+        nfa = regex_to_nfa(expression)
+        back = nfa_to_regex(nfa)
+        assert equivalent(regex_to_nfa(back if isinstance(back, str) else str(back), names=True), nfa)
+
+    def test_empty_language(self):
+        assert nfa_to_regex(NFA.empty_language({"a"})) == EmptySet()
+        assert nfa_to_regex_text(NFA.empty_language({"a"})) == "∅"
+
+    def test_readable_output_for_the_paper_examples(self):
+        # Example 10's Ω components should come out short and readable.
+        from repro.core.perfect import PerfectAutomaton
+        from repro.core.words import KernelString
+
+        perfect = PerfectAutomaton(regex_to_nfa("a(bc)*d"), KernelString.parse("a f1 f2 d"))
+        rendered = nfa_to_regex_text(perfect.omega_component(1))
+        assert rendered is not None and len(rendered) < 40
+        assert equivalent(regex_to_nfa(rendered, names=True), regex_to_nfa("(bc)*b?"))
+
+    def test_size_cap(self):
+        nfa = regex_to_nfa("(a|b)*abb")
+        assert nfa_to_regex_text(nfa, max_size=2) is None
+
+    @given(
+        st.recursive(
+            st.one_of(st.sampled_from(["a", "b"]).map(Sym), st.just(Epsilon())),
+            lambda children: st.one_of(
+                st.tuples(children, children).map(lambda pair: Union(pair)),
+                st.tuples(children, children).map(lambda pair: Concat(pair)),
+                children.map(Star),
+            ),
+            max_leaves=5,
+        )
+    )
+    def test_round_trip_property(self, regex):
+        nfa = regex.to_nfa()
+        back = nfa_to_regex(nfa)
+        assert equivalent(back.to_nfa(), nfa, ("a", "b"))

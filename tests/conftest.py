@@ -1,0 +1,17 @@
+"""Shared pytest fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the property-based tests build automata and
+# compare languages by brute force, which is slow per example; keep the
+# example counts modest so the whole suite stays fast and deterministic.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")

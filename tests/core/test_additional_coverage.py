@@ -1,0 +1,108 @@
+"""Additional coverage for corner cases of the core machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import regex_to_nfa
+from repro.core.design import TopDownDesign
+from repro.core.existence import find_local_typing, find_maximal_local_typing
+from repro.core.kernel import KernelTree
+from repro.core.locality import is_local, is_sound, root_content_of
+from repro.core.perfect import PerfectAutomaton, word_find_maximal_local_typing
+from repro.core.reduction import enumerate_kappas, normalized_target
+from repro.core.typing import TreeTyping
+from repro.core.words import KernelString
+from repro.errors import DesignError
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.schemas.sdtd import SDTD
+
+
+class TestPerfectAutomatonVariants:
+    def test_non_canonical_construction_gives_the_same_answers(self):
+        target = regex_to_nfa("a*bc*")
+        kernel = KernelString.parse("f1 b f2")
+        canonical = PerfectAutomaton(target, kernel, canonical=True)
+        raw = PerfectAutomaton(target, kernel, canonical=False)
+        assert canonical.compatible and raw.compatible
+        for gap in (1, 2):
+            assert equivalent(
+                canonical.omega_component(gap), raw.omega_component(gap), canonical.alphabet
+            )
+
+    def test_greedy_maximal_typing_on_example_2(self):
+        target = regex_to_nfa("a*bc*")
+        kernel = KernelString.parse("f1 f2")
+        typing = word_find_maximal_local_typing(target, kernel)
+        assert typing is not None
+        # One of the two maximal typings of Example 2.
+        first_is_full = equivalent(typing[0], regex_to_nfa("a*bc*"))
+        second_is_full = equivalent(typing[1], regex_to_nfa("a*bc*"))
+        assert first_is_full != second_is_full
+
+    def test_no_maximal_typing_when_no_local_exists(self):
+        target = regex_to_nfa("ab*|d")
+        kernel = KernelString.parse("a f1")
+        assert word_find_maximal_local_typing(target, kernel) is None
+
+
+class TestSdtdTopDownDesigns:
+    def design(self) -> TopDownDesign:
+        # The kernel materialises the promo section, so the global type makes
+        # it mandatory; the dvd lists on both sides come from resources.
+        target = SDTD(
+            "store",
+            {"store": "dvd1*, promo1", "promo1": "dvd2*", "dvd1": "title, price", "dvd2": "title"},
+            mu={"dvd1": "dvd", "dvd2": "dvd", "promo1": "promo"},
+        )
+        return TopDownDesign(target, KernelTree("store(f1 promo(f2))"))
+
+    def test_local_typing_found_and_verified(self):
+        design = self.design()
+        typing = find_local_typing(design)
+        assert typing is not None
+        assert is_local(design, typing)
+        # The promo resource publishes discounted dvds (title only).
+        assert equivalent(root_content_of(typing["f2"]), regex_to_nfa("dvd2*", names=True))
+        assert equivalent(root_content_of(typing["f1"]), regex_to_nfa("dvd1*", names=True))
+
+    def test_maximal_typing_exists(self):
+        design = self.design()
+        assert find_maximal_local_typing(design) is not None
+
+
+class TestEdtdReductionHelpers:
+    def test_enumerate_kappas_respects_the_root(self):
+        target = EDTD(
+            "s0",
+            {"s0": "(a1, a2)+", "a1": "b1", "a2": "c1"},
+            mu={"a1": "a", "a2": "a", "b1": "b", "c1": "c"},
+        )
+        design = TopDownDesign(target, KernelTree("s0(f1 a(f2) f3)"))
+        normalized = normalized_target(design)
+        kappas = list(enumerate_kappas(design, normalized))
+        assert len(kappas) == 3  # {a1}, {a2}, {a1, a2} for the fixed a-node
+        for kappa in kappas:
+            assert kappa[()] == {"s0"}
+
+    def test_kernel_with_unknown_root_has_no_kappa(self):
+        target = EDTD("s0", {"s0": "a1"}, mu={"a1": "a"})
+        design = TopDownDesign(target, KernelTree("other(f1)"))
+        normalized = normalized_target(design)
+        assert list(enumerate_kappas(design, normalized)) == []
+        assert find_local_typing(design) is None
+
+
+class TestSoundnessEdgeCases:
+    def test_typing_with_wrong_functions_is_rejected(self):
+        design = TopDownDesign(DTD("s", {"s": "a*"}), KernelTree("s(f1)"))
+        wrong = TreeTyping({"f9": DTD("root_f9", {"root_f9": "a*"})})
+        with pytest.raises(DesignError):
+            is_sound(design, wrong)
+
+    def test_kernel_label_missing_from_dtd_target(self):
+        design = TopDownDesign(DTD("s", {"s": "a*"}), KernelTree("s(zzz f1)"))
+        with pytest.raises(DesignError):
+            find_local_typing(design)

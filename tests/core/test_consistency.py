@@ -1,0 +1,184 @@
+"""Bottom-up design: T(τn), cons[S] and typeT(τn) (Section 3, Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DesignError
+from repro.core.consistency import (
+    ConsistencyResult,
+    build_combined_type,
+    check_consistency,
+    schema_size_under,
+)
+from repro.core.design import BottomUpDesign
+from repro.core.kernel import KernelTree
+from repro.core.typing import TreeTyping
+from repro.schemas.compare import schema_equivalent
+from repro.schemas.content_model import Formalism
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.schemas.sdtd import SDTD
+from repro.trees.term import parse_term
+
+
+def example_1_design() -> BottomUpDesign:
+    """Example 1: T = s0(a f1 c f2), τ1: s1 -> b*, τ2: s2 -> d*."""
+    kernel = KernelTree("s0(a f1 c f2)")
+    typing = TreeTyping(
+        {
+            "f1": DTD("s1", {"s1": "b*"}),
+            "f2": DTD("s2", {"s2": "d*"}),
+        }
+    )
+    return BottomUpDesign(typing, kernel)
+
+
+class TestCombinedType:
+    def test_semantics_matches_extensions(self):
+        # Theorem 3.2: [T(τn)] = extT(τn).
+        design = example_1_design()
+        combined = design.combined_type()
+        kernel = design.kernel
+        valid_extension = kernel.extension(
+            {"f1": parse_term("s1(b b)"), "f2": parse_term("s2(d)")}
+        )
+        assert valid_extension == parse_term("s0(a b b c d)")
+        assert combined.validate(valid_extension)
+        assert combined.validate(parse_term("s0(a c)"))
+        assert not combined.validate(parse_term("s0(a c d b)"))
+        assert not combined.validate(parse_term("s0(a c b)"))
+        assert combined.validate(parse_term("s0(a b c)"))
+        expected = DTD("s0", {"s0": "a, b*, c, d*"})
+        assert schema_equivalent(combined, expected)
+
+    def test_size_is_linear(self):
+        # Proposition 3.1: |T(τn)| is linear in |T| + |(τn)|.
+        design = example_1_design()
+        combined = design.combined_type()
+        assert combined.size <= 6 * (design.kernel.size + design.typing.size)
+
+    def test_missing_function_type_is_an_error(self):
+        kernel = KernelTree("s0(f1 f2)")
+        typing = TreeTyping({"f1": DTD("s1", {"s1": "a*"})})
+        with pytest.raises(DesignError):
+            build_combined_type(kernel, typing)
+        with pytest.raises(DesignError):
+            BottomUpDesign(typing, kernel)
+
+    def test_recursive_root_in_resource_type_is_rejected(self):
+        kernel = KernelTree("s0(f1)")
+        typing = TreeTyping({"f1": DTD("s1", {"s1": "a, s1 | b"})})
+        with pytest.raises(DesignError):
+            build_combined_type(kernel, typing)
+
+    def test_deep_kernel_and_edtd_typing_example_6(self):
+        # Example 6: T = s0(f1 a(b f2) c) with SDTD types for f1 (b d+ a(b+)*) and f2 (b*).
+        kernel = KernelTree("s0(f1 a(b f2) c)")
+        tau1 = SDTD(
+            "s1",
+            {"s1": "b1, d1+, a1*", "a1": "b1+"},
+            mu={"a1": "a", "b1": "b", "d1": "d"},
+        )
+        tau2 = SDTD("s2", {"s2": "b2*"}, mu={"b2": "b"})
+        typing = TreeTyping({"f1": tau1, "f2": tau2})
+        combined = build_combined_type(kernel, typing)
+        extension = kernel.extension(
+            {"f1": parse_term("s1(b d a(b b b))"), "f2": parse_term("s2(b b)")}
+        )
+        assert extension == parse_term("s0(b d a(b b b) a(b b b) c)")
+        assert combined.validate(extension)
+        assert not combined.validate(parse_term("s0(a(b) c)"))
+        # Example 6 states the resulting type is expressible as an SDTD.
+        result = check_consistency(kernel, typing, "SDTD")
+        assert result.consistent
+        assert schema_equivalent(result.result_type, combined)
+
+
+class TestConsistency:
+    def test_edtd_always_consistent(self):
+        design = example_1_design()
+        result = design.consistency("EDTD")
+        assert result.consistent
+        assert result.result_type is result.combined_type
+        assert "Corollary 3.3" in result.reason
+
+    def test_example_1_is_dtd_consistent(self):
+        design = example_1_design()
+        for language in ("DTD", "SDTD"):
+            result = design.consistency(language)
+            assert result.consistent
+            assert schema_equivalent(result.result_type, DTD("s0", {"s0": "a, b*, c, d*"}))
+            assert result.type_size is not None and result.type_size > 0
+
+    def test_example_1_is_dre_consistent(self):
+        design = example_1_design()
+        result = design.consistency("DTD", formalism=Formalism.DRE)
+        assert result.consistent
+
+    def test_non_dtd_consistent_design(self):
+        # Section 2.3: T = s0(a(f1) a(f2)) with [τ1] = s1(b), [τ2] = s2(c) is not
+        # DTD-consistent, but with [τ2] = s2(b) it is.
+        kernel = KernelTree("s0(a(f1) a(f2))")
+        different = TreeTyping(
+            {"f1": DTD("s1", {"s1": "b"}), "f2": DTD("s2", {"s2": "c"})}
+        )
+        same = TreeTyping(
+            {"f1": DTD("s1", {"s1": "b"}), "f2": DTD("s2", {"s2": "b"})}
+        )
+        bad = check_consistency(kernel, different, "DTD")
+        assert not bad.consistent
+        assert bad.counterexample is not None
+        assert bad.result_type is None and bad.type_size is None
+        assert not bad.combined_type.validate(bad.counterexample)
+        good = check_consistency(kernel, same, "DTD")
+        assert good.consistent
+
+    def test_sdtd_consistency_reduction_from_concat_universality(self):
+        # Corollary 3.11: with T = s(a(f1 f2) a(f3)) and [pi3(s3)] = Sigma*,
+        # the typing is SDTD-consistent iff [A1] ◦ [A2] = Sigma*.
+        kernel = KernelTree("s(a(f1 f2) a(f3))")
+
+        def typing_with(a1: str, a2: str) -> TreeTyping:
+            return TreeTyping(
+                {
+                    "f1": DTD("s1", {"s1": a1}),
+                    "f2": DTD("s2", {"s2": a2}),
+                    "f3": DTD("s3", {"s3": "(x|y)*"}),
+                }
+            )
+
+        universal = typing_with("(x|y)*", "(x|y)*")
+        assert check_consistency(kernel, universal, "SDTD").consistent
+        assert check_consistency(kernel, universal, "DTD").consistent
+        not_universal = typing_with("x", "(x|y)*")
+        assert not check_consistency(kernel, not_universal, "SDTD").consistent
+        assert not check_consistency(kernel, not_universal, "DTD").consistent
+
+    def test_dre_requirement_can_fail(self):
+        # The merged content model (a|b)*a(a|b) is not one-unambiguous, so the
+        # design is DTD-consistent for nFAs but not for dREs.
+        kernel = KernelTree("s0(f1)")
+        typing = TreeTyping({"f1": DTD("s1", {"s1": "(a|b)*, a, (a|b)"})})
+        nfa_result = check_consistency(kernel, typing, "DTD", Formalism.NFA)
+        assert nfa_result.consistent
+        dre_result = check_consistency(kernel, typing, "DTD", Formalism.DRE)
+        assert not dre_result.consistent
+        assert "one-unambiguous" in dre_result.reason
+
+    def test_unknown_schema_language(self):
+        with pytest.raises(DesignError):
+            check_consistency(example_1_design().kernel, example_1_design().typing, "XSD2")
+
+    def test_schema_size_under_formalism(self):
+        # The k-th-letter-from-the-end content model: the deterministic
+        # representation is exponentially larger than the nFA one for large k.
+        tail = ", ".join(["(a|b)"] * 6)
+        schema = DTD("s", {"s": f"(a|b)*, a, {tail}"})
+        assert schema_size_under(schema, Formalism.DFA) > 2 * schema_size_under(schema, Formalism.NFA)
+
+    def test_result_dataclass_shape(self):
+        result = example_1_design().consistency("DTD")
+        assert isinstance(result, ConsistencyResult)
+        assert result.schema_language == "DTD"
+        assert result.formalism == Formalism.NFA

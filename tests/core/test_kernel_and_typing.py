@@ -1,0 +1,123 @@
+"""Tests for kernel documents, materialisation and typing comparisons (Section 2.3/2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DesignError, KernelError
+from repro.core.kernel import KernelTree
+from repro.core.typing import TreeTyping, canonical_root_view, typing_compare
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.trees.term import parse_term
+
+
+class TestKernelTree:
+    def test_function_detection_and_order(self):
+        kernel = KernelTree("s0(a f1 b(f2))")
+        assert kernel.functions == ("f1", "f2")
+        assert kernel.function_path("f1") == (1,)
+        assert kernel.function_path("f2") == (2, 0)
+        assert kernel.function_parent("f2") == (2,)
+        assert kernel.element_alphabet == {"s0", "a", "b"}
+        assert kernel.function_count == 2 and kernel.size == 5
+
+    def test_explicit_function_set(self):
+        kernel = KernelTree("doc(header svc trailer)", functions=["svc"])
+        assert kernel.functions == ("svc",)
+        assert kernel.is_function("svc")
+        assert not kernel.is_function("header")
+
+    def test_duplicate_function_rejected(self):
+        # Requirement (iii): the paper's s(f f) example.
+        with pytest.raises(KernelError):
+            KernelTree("s(f1 f1)")
+
+    def test_function_must_be_leaf(self):
+        with pytest.raises(KernelError):
+            KernelTree("s(f1(a))")
+
+    def test_root_must_be_element(self):
+        with pytest.raises(KernelError):
+            KernelTree("f1")
+
+    def test_declared_function_must_occur(self):
+        with pytest.raises(KernelError):
+            KernelTree("s(a)", functions=["f1"])
+
+    def test_unknown_function_path(self):
+        with pytest.raises(KernelError):
+            KernelTree("s(f1)").function_path("f9")
+
+    def test_extension_is_the_paper_example(self):
+        # Section 2.3: T0 = s(a f1 b(f2)) with f1 -> s1(c(d d)), f2 -> s2(d(e f))
+        # yields s(a c(d d) b(d(e f))).
+        kernel = KernelTree("s(a f1 b(f2))")
+        extension = kernel.extension(
+            {"f1": parse_term("s1(c(d d))"), "f2": parse_term("s2(d(e f))")}
+        )
+        assert extension == parse_term("s(a c(d d) b(d(e f)))")
+
+    def test_extension_with_forests_and_skeleton(self):
+        kernel = KernelTree("s(a f1 b(f2))")
+        extension = kernel.extension_from_forests({"f1": (parse_term("x"), parse_term("y"))})
+        assert extension == parse_term("s(a x y b)")
+        assert kernel.skeleton() == parse_term("s(a b)")
+
+    def test_extension_requires_all_functions(self):
+        with pytest.raises(KernelError):
+            KernelTree("s(f1)").extension({})
+
+    def test_child_labels_and_functions_under(self):
+        kernel = KernelTree("eurostat(averages(f0) f1 f2)")
+        assert kernel.child_labels(()) == ("averages", "f1", "f2")
+        assert kernel.functions_under(()) == ("f1", "f2")
+        assert kernel.functions_under((0,)) == ("f0",)
+        assert kernel.element_paths() == [(), (0,)]
+
+
+class TestTreeTyping:
+    def leaf_type(self, root: str, content: str) -> DTD:
+        return DTD(root, {root: content})
+
+    def test_mapping_behaviour(self):
+        typing = TreeTyping({"f1": self.leaf_type("root_f1", "a*")})
+        assert "f1" in typing and len(typing) == 1
+        assert list(typing) == ["f1"]
+        assert typing["f1"].start == "root_f1"
+        assert typing.size > 0
+        assert typing.covers(["f1"])
+        assert not typing.covers(["f1", "f2"])
+
+    def test_rejects_non_schema_components(self):
+        with pytest.raises(DesignError):
+            TreeTyping({"f1": "a*"})
+
+    def test_comparisons_up_to_root_renaming(self):
+        small = TreeTyping({"f1": self.leaf_type("root_f1", "a")})
+        big = TreeTyping({"f1": self.leaf_type("rooti", "a*")})
+        unrelated = TreeTyping({"f1": self.leaf_type("s1", "b*")})
+        assert small.smaller_or_equal(big)
+        assert small.smaller(big)
+        assert not big.smaller(small)
+        assert big.equivalent_to(TreeTyping({"f1": self.leaf_type("other", "a*")}))
+        assert typing_compare(small, big) == "<"
+        assert typing_compare(big, small) == ">"
+        assert typing_compare(big, unrelated) == "incomparable"
+        assert typing_compare(big, TreeTyping({"f1": self.leaf_type("x", "a*")})) == "≡"
+
+    def test_different_function_sets_never_compare(self):
+        left = TreeTyping({"f1": self.leaf_type("r", "a")})
+        right = TreeTyping({"f2": self.leaf_type("r", "a")})
+        assert not left.equivalent_to(right)
+        assert not left.smaller_or_equal(right)
+
+    def test_describe_lists_components(self):
+        typing = TreeTyping({"f1": self.leaf_type("root_f1", "a*")})
+        assert "root_f1" in typing.describe()
+
+    def test_canonical_root_view_for_edtd(self):
+        schema = EDTD("r1", {"r1": "a1*"}, mu={"a1": "a"})
+        view = canonical_root_view(schema)
+        assert view.root_element == "__root__"
+        assert view.validate(parse_term("__root__(a a)"))

@@ -1,0 +1,316 @@
+"""Top-down design: loc/ml/perf and their existence problems on trees (Sections 4-7).
+
+These tests machine-check the paper's running example (Figures 3-6) and the
+separation examples of Section 2.4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import regex_to_nfa
+from repro.core.design import TopDownDesign
+from repro.core.existence import (
+    find_local_typing,
+    find_maximal_local_typing,
+    find_maximal_local_typings,
+    find_perfect_typing,
+)
+from repro.core.kernel import KernelTree
+from repro.core.locality import is_complete, is_local, is_maximal_local, is_perfect, is_sound, root_content_of
+from repro.core.reduction import (
+    induced_word_designs_dtd,
+    induced_word_designs_sdtd,
+    kernel_witnesses_sdtd,
+    normalized_target,
+    perfect_kappa,
+)
+from repro.core.typing import TreeTyping, default_root_name
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.schemas.sdtd import SDTD
+from repro.workloads import eurostat
+
+
+def dtd_design(target_rules: dict[str, str], start: str, kernel_text: str) -> TopDownDesign:
+    return TopDownDesign(DTD(start, target_rules), KernelTree(kernel_text))
+
+
+class TestReductions:
+    def test_induced_word_designs_dtd(self):
+        design = eurostat.top_down_design(countries=2)
+        word_designs = induced_word_designs_dtd(design)
+        by_path = {wd.path: wd for wd in word_designs}
+        assert set(by_path) == {(), (0,)}
+        root = by_path[()]
+        assert root.functions == ("f1", "f2")
+        assert root.kernel.segments[0].word() == ("averages",)
+        averages = by_path[(0,)]
+        assert averages.functions == ("f0",)
+
+    def test_induced_word_designs_sdtd(self):
+        target = SDTD(
+            "s",
+            {"s": "a1, b1*", "a1": "c1*"},
+            mu={"a1": "a", "b1": "b", "c1": "c"},
+        )
+        design = TopDownDesign(target, KernelTree("s(a(f1) f2)"))
+        witnesses = kernel_witnesses_sdtd(design)
+        assert witnesses[(0,)] == "a1"
+        word_designs = induced_word_designs_sdtd(design)
+        by_path = {wd.path: wd for wd in word_designs}
+        # The root's word design is over specialised names: a1 f2.
+        assert by_path[()].kernel.segments[0].word() == ("a1",)
+        assert by_path[(0,)].functions == ("f1",)
+
+    def test_sdtd_reduction_fails_when_kernel_cannot_be_witnessed(self):
+        target = SDTD("s", {"s": "a1*"}, mu={"a1": "a"})
+        design = TopDownDesign(target, KernelTree("s(b f1)"))
+        assert kernel_witnesses_sdtd(design) is None
+        assert induced_word_designs_sdtd(design) is None
+        assert find_local_typing(design) is None
+
+    def test_perfect_kappa_for_figure6(self):
+        design = eurostat.figure6_design()
+        normalized = normalized_target(design)
+        kappa = perfect_kappa(design, normalized)
+        assert kappa is not None
+        # The kernel's nationalIndex node may be either specialisation, which
+        # is exactly why no perfect typing exists (Section 1).
+        assert kappa[(1,)] == {"natIndA", "natIndB"}
+
+
+class TestEurostatFigures3And4:
+    def test_figure4_typing_is_perfect(self):
+        design = eurostat.top_down_design(countries=2)
+        typing = eurostat.figure4_typing(countries=2)
+        assert is_sound(design, typing)
+        assert is_complete(design, typing)
+        assert is_local(design, typing)
+        assert is_maximal_local(design, typing)
+        assert is_perfect(design, typing)
+
+    def test_found_perfect_typing_matches_figure4(self):
+        design = eurostat.top_down_design(countries=2)
+        found = find_perfect_typing(design)
+        assert found is not None
+        assert found.equivalent_to(eurostat.figure4_typing(countries=2))
+        # Each country's root content model is nationalIndex* (Figure 4).
+        country = found["f1"]
+        assert equivalent(
+            root_content_of(country), regex_to_nfa("nationalIndex*", names=True)
+        )
+
+    def test_sound_but_not_complete_typing(self):
+        design = eurostat.top_down_design(countries=2)
+        base = {
+            "nationalIndex": "country, Good, (index | value, year)",
+            "index": "value, year",
+        }
+        restrictive = TreeTyping(
+            {
+                "f0": DTD(default_root_name("f0"), {default_root_name("f0"): "(Good, index+)+", **base}),
+                "f1": DTD(default_root_name("f1"), {default_root_name("f1"): "nationalIndex", **base}),
+                "f2": DTD(default_root_name("f2"), {default_root_name("f2"): "nationalIndex*", **base}),
+            }
+        )
+        assert is_sound(design, restrictive)
+        assert not is_complete(design, restrictive)
+        assert not is_local(design, restrictive)
+        assert not is_maximal_local(design, restrictive)
+        assert not is_perfect(design, restrictive)
+
+    def test_unsound_typing(self):
+        design = eurostat.top_down_design(countries=1)
+        base = {"index": "value, year"}
+        wrong = TreeTyping(
+            {
+                "f0": DTD(default_root_name("f0"), {default_root_name("f0"): "(Good, index+)+", **base}),
+                # country data placed directly under eurostat is not allowed
+                "f1": DTD(default_root_name("f1"), {default_root_name("f1"): "country*", **base}),
+            }
+        )
+        assert not is_sound(design, wrong)
+
+
+class TestEurostatFigure5:
+    """Figure 5: τ' forces all countries onto one format -- it cannot be controlled locally.
+
+    Formally (see EXPERIMENTS.md): the design admits no perfect typing, the
+    natural typing that lets every country publish in either format is not
+    even sound, and every (maximal) local typing is degenerate -- at most one
+    country may publish any data at all.
+    """
+
+    def natural_typing(self, countries: int) -> TreeTyping:
+        """Each country typed with root -> (natIndA* | natIndB*) plus τ' rules."""
+        base_rules = {
+            "natIndA": "country, Good, index",
+            "natIndB": "country, Good, value, year",
+            "index": "value, year",
+        }
+        mu = {"natIndA": "nationalIndex", "natIndB": "nationalIndex"}
+        types = {}
+        f0_root = default_root_name("f0")
+        types["f0"] = EDTD(f0_root, {f0_root: "(Good, index+)+", **base_rules}, mu)
+        for i in range(1, countries + 1):
+            root = default_root_name(f"f{i}")
+            types[f"f{i}"] = EDTD(root, {root: "natIndA* | natIndB*", **base_rules}, mu)
+        return TreeTyping(types)
+
+    def test_no_perfect_typing_and_natural_typing_unsound(self):
+        design = eurostat.bad_design(countries=2)
+        assert find_perfect_typing(design) is None
+        natural = self.natural_typing(countries=2)
+        assert not is_sound(design, natural)
+        assert not is_local(design, natural)
+
+    def test_every_local_typing_is_degenerate(self):
+        design = eurostat.bad_design(countries=2)
+        typings = find_maximal_local_typings(design)
+        assert typings
+        for typing in typings:
+            publishing = [
+                function
+                for function in ("f1", "f2")
+                if root_content_of(typing[function]).shortest_word() not in (None, ())
+            ]
+            assert len(publishing) <= 1
+
+    def test_bad_design_with_a_single_country_is_fine(self):
+        # With only one country the "same format everywhere" constraint is
+        # vacuous, so even a perfect typing exists.
+        design = eurostat.bad_design(countries=1)
+        assert design.exists_perfect_typing()
+
+
+class TestEurostatFigure6:
+    def test_no_perfect_typing(self):
+        design = eurostat.figure6_design()
+        assert find_perfect_typing(design) is None
+        assert not design.exists_perfect_typing()
+
+    def test_exactly_two_maximal_local_typings(self):
+        design = eurostat.figure6_design()
+        typings = find_maximal_local_typings(design)
+        assert len(typings) == 2
+        root_contents = set()
+        for typing in typings:
+            f2_content = root_content_of(typing["f2"])
+            if equivalent(f2_content, regex_to_nfa("country, Good, index", names=True)):
+                # τ''_.1 of the paper
+                assert equivalent(
+                    root_content_of(typing["f1"]),
+                    regex_to_nfa("averages, (natIndA, natIndB)*", names=True),
+                )
+                assert equivalent(
+                    root_content_of(typing["f3"]),
+                    regex_to_nfa("natIndB, (natIndA, natIndB)*", names=True),
+                )
+                root_contents.add("format-A")
+            else:
+                # τ''_.2 of the paper
+                assert equivalent(
+                    f2_content, regex_to_nfa("country, Good, value, year", names=True)
+                )
+                assert equivalent(
+                    root_content_of(typing["f1"]),
+                    regex_to_nfa("averages, (natIndA, natIndB)*, natIndA", names=True),
+                )
+                assert equivalent(
+                    root_content_of(typing["f3"]),
+                    regex_to_nfa("(natIndA, natIndB)*", names=True),
+                )
+                root_contents.add("format-B")
+        assert root_contents == {"format-A", "format-B"}
+
+    def test_each_maximal_typing_verifies(self):
+        design = eurostat.figure6_design()
+        typings = find_maximal_local_typings(design)
+        for typing in typings:
+            assert is_local(design, typing)
+            assert is_maximal_local(design, typing)
+            assert not is_perfect(design, typing)
+        assert not typings[0].equivalent_to(typings[1])
+
+    def test_local_typing_exists(self):
+        design = eurostat.figure6_design()
+        local = find_local_typing(design)
+        assert local is not None
+        assert is_local(design, local)
+        assert design.exists_maximal_local_typing()
+
+
+class TestSeparationExamples:
+    def test_example_3_tree_version(self):
+        # τ = s(a*bc*), T = s(f1 b f2): perfect typing (a*, c*).
+        design = dtd_design({"s": "a*, b, c*"}, "s", "s(f1 b f2)")
+        perfect = find_perfect_typing(design)
+        assert perfect is not None
+        assert equivalent(root_content_of(perfect["f1"]), regex_to_nfa("a*"))
+        assert equivalent(root_content_of(perfect["f2"]), regex_to_nfa("c*"))
+        assert is_perfect(design, perfect)
+
+    def test_example_2_tree_version(self):
+        design = dtd_design({"s": "a*, b, c*"}, "s", "s(f1 f2)")
+        assert find_perfect_typing(design) is None
+        typings = find_maximal_local_typings(design)
+        assert len(typings) == 2
+        # Theorem 2.1 sanity check: none of the maximal typings dominates the other.
+        assert not typings[0].smaller_or_equal(typings[1])
+        assert not typings[1].smaller_or_equal(typings[0])
+
+    def test_example_4_unique_maximal_not_perfect(self):
+        design = dtd_design({"s": "(a, b)*"}, "s", "s(f1 f2)")
+        assert find_perfect_typing(design) is None
+        typings = find_maximal_local_typings(design)
+        assert len(typings) == 1
+        assert is_maximal_local(design, typings[0])
+        assert not is_perfect(design, typings[0])
+
+    def test_example_8_two_maximal_typings_for_edtd(self):
+        target = EDTD(
+            "s0",
+            {"s0": "(a1, a2)+", "a1": "b1", "a2": "c1"},
+            mu={"a1": "a", "a2": "a", "b1": "b", "c1": "c"},
+        )
+        design = TopDownDesign(target, KernelTree("s0(f1 a(f2) f3)"))
+        assert find_perfect_typing(design) is None
+        typings = find_maximal_local_typings(design)
+        assert len(typings) == 2
+        local = find_local_typing(design)
+        assert local is not None and is_local(design, local)
+
+    def test_remark_2_design_without_local_typing(self):
+        # T = s(a f1), τ = s -> a b* | d: no local typing (d can never be produced).
+        design = dtd_design({"s": "a, b* | d"}, "s", "s(a f1)")
+        assert find_local_typing(design) is None
+        assert find_maximal_local_typings(design) == []
+
+    def test_fixed_kernel_nodes_must_match_exactly(self):
+        # A kernel node without functions admits a local typing only if the
+        # content model denotes exactly its fixed children string (Theorem 4.2).
+        exact = dtd_design({"s": "a, b, c*"}, "s", "s(a b f1)")
+        assert exact.exists_local_typing() is True
+        too_wide = dtd_design({"s": "a*, b"}, "s", "s(a b)")
+        assert too_wide.exists_local_typing() is False
+
+    def test_perfect_typing_components_verify_individually(self):
+        design = eurostat.top_down_design(countries=2)
+        reference = find_perfect_typing(design)
+        # Swapping a component for something smaller breaks perfection but
+        # keeps soundness.
+        base = {
+            "nationalIndex": "country, Good, (index | value, year)",
+            "index": "value, year",
+        }
+        smaller = TreeTyping(
+            {
+                "f0": reference["f0"],
+                "f1": DTD(default_root_name("f1"), {default_root_name("f1"): "nationalIndex?", **base}),
+                "f2": reference["f2"],
+            }
+        )
+        assert is_sound(design, smaller)
+        assert not is_perfect(design, smaller)

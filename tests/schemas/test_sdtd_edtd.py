@@ -1,0 +1,273 @@
+"""Tests for R-SDTDs, R-EDTDs, normalisation and the closure constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotSingleTypeError, SchemaError
+from repro.schemas.closures import dtd_closure, single_type_closure
+from repro.schemas.compare import (
+    schema_counterexample,
+    schema_equivalent,
+    schema_includes,
+    schema_inclusion_counterexample,
+    schema_is_empty,
+)
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD, NormalizedEDTD, is_normalized, normalize
+from repro.schemas.sdtd import SDTD
+from repro.trees.term import parse_term
+
+
+def tau_prime() -> EDTD:
+    """Figure 5's type τ': all nationalIndex entries must use the same format."""
+    return EDTD(
+        "eurostat",
+        {
+            "eurostat": "averages, (natIndA* | natIndB*)",
+            "averages": "(Good, index+)+",
+            "natIndA": "country, Good, index",
+            "natIndB": "country, Good, value, year",
+            "index": "value, year",
+        },
+        mu={"natIndA": "nationalIndex", "natIndB": "nationalIndex"},
+    )
+
+
+def tau_second() -> EDTD:
+    """Figure 6's type τ'': alternating nationalIndex formats."""
+    return EDTD(
+        "eurostat",
+        {
+            "eurostat": "averages, (natIndA, natIndB)+",
+            "averages": "(Good, index+)+",
+            "natIndA": "country, Good, index",
+            "natIndB": "country, Good, value, year",
+            "index": "value, year",
+        },
+        mu={"natIndA": "nationalIndex", "natIndB": "nationalIndex"},
+    )
+
+
+def simple_sdtd() -> SDTD:
+    """Example 6's τ1: root content b d+ a*, where a-nodes contain b+."""
+    return SDTD(
+        "s1",
+        {"s1": "b1, d1+, a1*", "a1": "b1+"},
+        mu={"s1": "s1", "a1": "a", "b1": "b", "d1": "d"},
+    )
+
+
+class TestSDTD:
+    def test_single_type_violation_detected(self):
+        with pytest.raises(NotSingleTypeError):
+            SDTD(
+                "s",
+                {"s": "a1 | a2", "a1": "b", "a2": "c"},
+                mu={"a1": "a", "a2": "a"},
+            )
+
+    def test_validation_and_witness(self):
+        sdtd = simple_sdtd()
+        tree = parse_term("s1(b d d a(b b b) a(b))")
+        assert sdtd.validate(tree)
+        witness = sdtd.witness(tree)
+        assert witness is not None
+        assert witness.label == "s1"
+        assert witness.child_str() == ("b1", "d1", "d1", "a1", "a1")
+        assert sdtd.witness_name_at(tree, (3,)) == "a1"
+
+    def test_invalid_trees(self):
+        sdtd = simple_sdtd()
+        assert not sdtd.validate(parse_term("s1(b a(b))"))      # missing d+
+        assert not sdtd.validate(parse_term("s1(b d a)"))       # a must contain b+
+        assert not sdtd.validate(parse_term("x(b d)"))          # wrong root element
+        assert not sdtd.validate(parse_term("s1(b d z)"))       # unknown element
+        assert sdtd.witness_name_at(parse_term("s1(b a(b))"), (0,)) is None
+
+    def test_validation_agrees_with_edtd_semantics(self):
+        sdtd = simple_sdtd()
+        uta = sdtd.to_uta()
+        for text in ("s1(b d)", "s1(b d a(b))", "s1(b)", "s1(b d a)", "s1"):
+            tree = parse_term(text)
+            assert sdtd.validate(tree) == uta.accepts(tree)
+
+    def test_dual_is_deterministic_and_accepts_paths(self):
+        dual = simple_sdtd().dual()
+        assert dual.accepts(("s1", "b"))
+        assert dual.accepts(("s1", "a", "b"))
+        assert not dual.accepts(("s1", "a", "d"))
+
+    def test_specializations_and_element_of(self):
+        edtd = tau_prime()
+        assert edtd.specializations("nationalIndex") == {"natIndA", "natIndB"}
+        assert edtd.element_of("natIndA") == "nationalIndex"
+        assert edtd.root_element == "eurostat"
+
+
+class TestEDTD:
+    def test_mu_with_unknown_names_is_rejected(self):
+        with pytest.raises(SchemaError):
+            EDTD("s", {"s": "a"}, mu={"zzz": "a"})
+
+    def test_validation_accepts_both_formats_under_tau_prime(self):
+        edtd = tau_prime()
+        uniform_a = parse_term(
+            "eurostat(averages(Good index(value year)) "
+            "nationalIndex(country Good index(value year)) "
+            "nationalIndex(country Good index(value year)))"
+        )
+        uniform_b = parse_term(
+            "eurostat(averages(Good index(value year)) "
+            "nationalIndex(country Good value year))"
+        )
+        mixed = parse_term(
+            "eurostat(averages(Good index(value year)) "
+            "nationalIndex(country Good index(value year)) "
+            "nationalIndex(country Good value year))"
+        )
+        assert edtd.validate(uniform_a)
+        assert edtd.validate(uniform_b)
+        assert not edtd.validate(mixed)  # τ' forbids mixing the two formats
+
+    def test_tau_second_requires_alternation(self):
+        edtd = tau_second()
+        alternating = parse_term(
+            "eurostat(averages(Good index(value year)) "
+            "nationalIndex(country Good index(value year)) "
+            "nationalIndex(country Good value year))"
+        )
+        assert edtd.validate(alternating)
+        assert not edtd.validate(
+            parse_term("eurostat(averages(Good index(value year)))")
+        )
+
+    def test_with_start(self):
+        edtd = tau_prime()
+        nat_a = edtd.with_start("natIndA")
+        assert nat_a.validate(parse_term("nationalIndex(country Good index(value year))"))
+        assert not nat_a.validate(parse_term("nationalIndex(country Good value year)"))
+
+    def test_reduction_of_edtd(self):
+        edtd = EDTD("s", {"s": "a1 | b1", "a1": "a1"}, mu={"a1": "a", "b1": "b"})
+        assert not edtd.is_reduced()
+        reduced = edtd.reduced()
+        assert reduced.is_reduced()
+        assert reduced.specialized_names == {"s", "b1"}
+        assert isinstance(reduced, EDTD)
+
+    def test_empty_edtd(self):
+        edtd = EDTD("s", {"s": "a1", "a1": "a1"}, mu={"a1": "a"})
+        assert edtd.is_empty()
+        with pytest.raises(SchemaError):
+            edtd.reduced()
+
+    def test_describe_mentions_specializations(self):
+        assert "natIndA[nationalIndex]" in tau_prime().describe()
+
+
+class TestSchemaComparison:
+    def test_dtd_vs_edtd_equivalence(self):
+        dtd = DTD("s", {"s": "a*"})
+        edtd = EDTD("s", {"s": "a1*"}, mu={"a1": "a"})
+        assert schema_equivalent(dtd, edtd)
+        assert schema_includes(edtd, dtd)
+        assert schema_counterexample(dtd, edtd) is None
+
+    def test_strict_inclusion_with_witness(self):
+        bigger = DTD("s", {"s": "a*"})
+        smaller = DTD("s", {"s": "a"})
+        assert schema_includes(bigger, smaller)
+        assert not schema_includes(smaller, bigger)
+        witness = schema_inclusion_counterexample(bigger, smaller)
+        assert bigger.validate(witness) and not smaller.validate(witness)
+
+    def test_schema_is_empty(self):
+        assert schema_is_empty(DTD("s", {"s": "a", "a": "a"}))
+        assert not schema_is_empty(DTD("s", {"s": "a"}))
+
+
+class TestNormalization:
+    def test_tau_second_is_already_normalized(self):
+        assert is_normalized(tau_second())
+
+    def test_overlapping_specializations_are_detected(self):
+        # Example 7's flavour: two specialisations of b with overlapping languages.
+        edtd = EDTD(
+            "s",
+            {"s": "b1 | b2", "b1": "e | g", "b2": "g | h"},
+            mu={"b1": "b", "b2": "b"},
+        )
+        assert not is_normalized(edtd)
+
+    def test_normalize_preserves_language(self):
+        edtd = EDTD(
+            "s",
+            {"s": "b1 | b2", "b1": "e | g", "b2": "g | h"},
+            mu={"b1": "b", "b2": "b"},
+        )
+        normalized = normalize(edtd)
+        assert isinstance(normalized, NormalizedEDTD)
+        assert schema_equivalent(edtd, normalized)
+        # Lemma 4.10: the b-specialisations of the normalised type are disjoint:
+        # one for {e}, one for {g} (shared) and one for {h}.
+        assert len(normalized.specializations("b")) == 3
+
+    def test_normalize_keeps_names_of_already_normalized_types(self):
+        normalized = normalize(tau_second())
+        assert "natIndA" in normalized.names
+        assert normalized.roots == {"eurostat"}
+        assert schema_equivalent(tau_second(), normalized)
+
+    def test_normalized_edtd_interface(self):
+        normalized = normalize(tau_second())
+        assert normalized.specializations("nationalIndex") == {"natIndA", "natIndB"}
+        assert "nationalIndex" in normalized.alphabet
+        union = normalized.content_union({"natIndA", "natIndB"})
+        assert union.accepts(("country", "Good", "index")) or union.accepts(
+            ("country", "Good", "value", "year")
+        )
+        assert normalized.size > 0
+
+    def test_normalized_roots_must_be_names(self):
+        with pytest.raises(SchemaError):
+            NormalizedEDTD({"a": "a"}, {"a": DTD("a", {}).content("a").nfa}, roots={"zzz"})
+
+
+class TestClosures:
+    def test_single_type_closure_of_sdtd_definable_language(self):
+        # τ' (Figure 5) is already single-type-definable?  No: it distinguishes
+        # the two nationalIndex formats by *horizontal* context, not by
+        # ancestors, so its closure is strictly larger.
+        edtd = tau_prime()
+        closure = single_type_closure(edtd)
+        assert schema_includes(closure, edtd)
+        assert not schema_equivalent(closure, edtd)
+
+    def test_single_type_closure_equals_language_when_single_type(self):
+        sdtd = simple_sdtd()
+        closure = single_type_closure(sdtd)
+        assert schema_equivalent(closure, sdtd)
+
+    def test_dtd_closure_of_dtd_definable_language(self):
+        edtd = EDTD("s", {"s": "a1*", "a1": "b"}, mu={"a1": "a"})
+        closure = dtd_closure(edtd)
+        assert isinstance(closure, DTD)
+        assert schema_equivalent(closure, edtd)
+
+    def test_dtd_closure_is_a_proper_superset_for_non_local_languages(self):
+        # The paper's canonical non-DTD-definable language: s0(a(b) a(c)).
+        edtd = EDTD(
+            "s0",
+            {"s0": "a1, a2", "a1": "b", "a2": "c"},
+            mu={"a1": "a", "a2": "a"},
+        )
+        closure = dtd_closure(edtd)
+        assert schema_includes(closure, edtd)
+        assert not schema_equivalent(closure, edtd)
+        assert closure.validate(parse_term("s0(a(b) a(b))"))
+
+    def test_closures_accept_non_reduced_input(self):
+        edtd = EDTD("s", {"s": "a1 | z1", "a1": "b", "z1": "z1"}, mu={"a1": "a", "z1": "z"})
+        assert schema_equivalent(dtd_closure(edtd), DTD("s", {"s": "a", "a": "b"}))
+        assert schema_equivalent(single_type_closure(edtd), DTD("s", {"s": "a", "a": "b"}))

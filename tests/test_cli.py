@@ -1,0 +1,104 @@
+"""Tests for the ``repro-design`` command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIGURE3_DTD = """
+<!ELEMENT eurostat (averages, nationalIndex*)>
+<!ELEMENT averages (Good, index+)+>
+<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+<!ELEMENT index (value, year)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT Good (#PCDATA)>
+<!ELEMENT value (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def schema_file(tmp_path: Path) -> Path:
+    path = tmp_path / "eurostat.dtd"
+    path.write_text(FIGURE3_DTD, encoding="utf-8")
+    return path
+
+
+class TestTopDown:
+    def test_perfect_typing_is_reported(self, schema_file, capsys):
+        exit_code = main(
+            ["topdown", "--schema", str(schema_file), "--kernel", "eurostat(averages(f0) f1 f2)"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "perfect typing exists: True" in output
+        assert "nationalIndex*" in output
+
+    def test_design_without_local_typing_returns_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "schema.txt"
+        path.write_text("s -> a, b* | d", encoding="utf-8")
+        exit_code = main(["topdown", "--schema", str(path), "--kernel", "s(a f1)"])
+        assert exit_code == 1
+        assert "local typing exists:   False" in capsys.readouterr().out
+
+
+class TestBottomUp:
+    def test_consistency_report(self, tmp_path, capsys):
+        first = tmp_path / "t1.txt"
+        first.write_text("s1 -> b", encoding="utf-8")
+        second = tmp_path / "t2.txt"
+        second.write_text("s2 -> c", encoding="utf-8")
+        exit_code = main(
+            [
+                "bottomup",
+                "--kernel",
+                "s0(a(f1) a(f2))",
+                "--type",
+                f"f1={first}",
+                "--type",
+                f"f2={second}",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cons[EDTD]: yes" in output
+        assert "cons[DTD]: no" in output
+
+    def test_consistent_design_prints_the_global_type(self, tmp_path, capsys):
+        local = tmp_path / "t1.txt"
+        local.write_text("s1 -> b*", encoding="utf-8")
+        exit_code = main(["bottomup", "--kernel", "s0(a f1 c)", "--type", f"f1={local}"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "typeT(τn) as a DTD:" in output
+
+    def test_missing_types_is_an_error(self, capsys):
+        assert main(["bottomup", "--kernel", "s0(f1)"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_type_assignment(self, capsys):
+        assert main(["bottomup", "--kernel", "s0(f1)", "--type", "nonsense"]) == 2
+
+
+class TestValidate:
+    def test_valid_xml_document(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text(
+            "<eurostat><averages><Good/><index><value/><year/></index></averages></eurostat>",
+            encoding="utf-8",
+        )
+        assert main(["validate", "--schema", str(schema_file), "--document", str(document)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_term_document(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.term"
+        document.write_text("eurostat(nationalIndex(country))", encoding="utf-8")
+        assert main(["validate", "--schema", str(schema_file), "--document", str(document)]) == 1
+        assert "invalid:" in capsys.readouterr().out
+
+    def test_missing_file_is_reported(self, schema_file, capsys):
+        assert main(["validate", "--schema", str(schema_file), "--document", "missing.xml"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,170 @@
+"""Tests for unranked tree automata: membership, emptiness, inclusion, equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.regex import regex_to_nfa
+from repro.trees.automata import (
+    UnrankedTreeAutomaton,
+    deterministic_state_assignments,
+    joint_reachable_profiles,
+    tree_language_counterexample,
+    tree_language_equivalence_counterexample,
+    tree_language_equivalent,
+    tree_language_includes,
+    tree_language_is_empty,
+)
+from repro.trees.term import parse_term
+
+
+def horizontal(expression: str) -> "NFA":
+    """Content automaton over state names (single-character states here)."""
+    return regex_to_nfa(expression)
+
+
+def uta_a_star_b() -> UnrankedTreeAutomaton:
+    """Trees of the form s(a ... a b): root s with some a-leaves then one b-leaf."""
+    return UnrankedTreeAutomaton(
+        states={"s", "a", "b"},
+        alphabet={"s", "a", "b"},
+        horizontal={
+            ("s", "s"): horizontal("a*b"),
+            ("a", "a"): horizontal("ε"),
+            ("b", "b"): horizontal("ε"),
+        },
+        finals={"s"},
+    )
+
+
+def uta_nested() -> UnrankedTreeAutomaton:
+    """Trees where every a-node has zero or more a-children (unbounded depth), root a."""
+    return UnrankedTreeAutomaton(
+        states={"a"},
+        alphabet={"a"},
+        horizontal={("a", "a"): horizontal("a*")},
+        finals={"a"},
+    )
+
+
+class TestMembership:
+    def test_accepts_flat_trees(self):
+        uta = uta_a_star_b()
+        assert uta.accepts(parse_term("s(b)"))
+        assert uta.accepts(parse_term("s(a a b)"))
+        assert parse_term("s(a b)") in uta
+        assert not uta.accepts(parse_term("s(a)"))
+        assert not uta.accepts(parse_term("s(b a)"))
+        assert not uta.accepts(parse_term("a"))
+
+    def test_accepts_unbounded_depth(self):
+        uta = uta_nested()
+        assert uta.accepts(parse_term("a"))
+        assert uta.accepts(parse_term("a(a(a) a)"))
+        assert not uta.accepts(parse_term("a(b)"))
+
+    def test_possible_states(self):
+        uta = uta_a_star_b()
+        assert uta.possible_states(parse_term("a")) == frozenset({"a"})
+        assert uta.possible_states(parse_term("s(a b)")) == frozenset({"s"})
+        assert uta.possible_states(parse_term("c")) == frozenset()
+
+    def test_validation_of_horizontal_alphabet(self):
+        with pytest.raises(ValueError):
+            UnrankedTreeAutomaton(
+                states={"s"},
+                alphabet={"s"},
+                horizontal={("s", "s"): horizontal("x")},
+                finals={"s"},
+            )
+
+    def test_unknown_final_state_rejected(self):
+        with pytest.raises(ValueError):
+            UnrankedTreeAutomaton(states={"s"}, alphabet={"s"}, horizontal={}, finals={"t"})
+
+    def test_size_measure(self):
+        assert uta_nested().size > 1
+
+
+class TestDecisionProcedures:
+    def test_emptiness(self):
+        assert not tree_language_is_empty(uta_a_star_b())
+        # A UTA whose only rule needs a child state that can never be produced.
+        empty = UnrankedTreeAutomaton(
+            states={"s", "x"},
+            alphabet={"s"},
+            horizontal={("s", "s"): horizontal("x")},
+            finals={"s"},
+        )
+        assert tree_language_is_empty(empty)
+
+    def test_equivalence_of_identical_languages(self):
+        left = uta_a_star_b()
+        # Same language, different horizontal expression (a*b vs a*ab | b).
+        right = UnrankedTreeAutomaton(
+            states={"s", "a", "b"},
+            alphabet={"s", "a", "b"},
+            horizontal={
+                ("s", "s"): horizontal("a*ab | b"),
+                ("a", "a"): horizontal("ε"),
+                ("b", "b"): horizontal("ε"),
+            },
+            finals={"s"},
+        )
+        assert tree_language_equivalent(left, right)
+        assert tree_language_equivalence_counterexample(left, right) is None
+
+    def test_non_equivalence_with_witness(self):
+        left = uta_a_star_b()
+        right = UnrankedTreeAutomaton(
+            states={"s", "a", "b"},
+            alphabet={"s", "a", "b"},
+            horizontal={
+                ("s", "s"): horizontal("aa*b"),  # requires at least one a
+                ("a", "a"): horizontal("ε"),
+                ("b", "b"): horizontal("ε"),
+            },
+            finals={"s"},
+        )
+        assert not tree_language_equivalent(left, right)
+        side, witness = tree_language_equivalence_counterexample(left, right)
+        assert side == "left-only"
+        assert left.accepts(witness) and not right.accepts(witness)
+
+    def test_inclusion(self):
+        big = uta_a_star_b()
+        small = UnrankedTreeAutomaton(
+            states={"s", "a", "b"},
+            alphabet={"s", "a", "b"},
+            horizontal={
+                ("s", "s"): horizontal("ab"),
+                ("a", "a"): horizontal("ε"),
+                ("b", "b"): horizontal("ε"),
+            },
+            finals={"s"},
+        )
+        assert tree_language_includes(big, small)
+        assert not tree_language_includes(small, big)
+        counterexample = tree_language_counterexample(big, small)
+        assert big.accepts(counterexample) and not small.accepts(counterexample)
+
+    def test_joint_profiles_have_witnesses(self):
+        uta = uta_a_star_b()
+        profiles = joint_reachable_profiles([uta])
+        for profile, witness in profiles.items():
+            assert uta.possible_states(witness) == profile[0]
+
+    def test_deterministic_state_assignments(self):
+        assignments = deterministic_state_assignments(uta_nested())
+        assert frozenset({"a"}) in assignments
+
+    def test_recursive_language_equivalence(self):
+        # a-trees of any shape vs a-trees of height at most 2: different.
+        bounded = UnrankedTreeAutomaton(
+            states={"a", "z"},
+            alphabet={"a"},
+            horizontal={("a", "a"): horizontal("z*"), ("z", "a"): horizontal("ε")},
+            finals={"a"},
+        )
+        assert not tree_language_equivalent(uta_nested(), bounded)
+        assert tree_language_includes(uta_nested(), bounded)

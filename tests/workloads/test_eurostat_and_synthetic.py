@@ -1,0 +1,115 @@
+"""Tests for the Eurostat workload (Figures 1-6) and the synthetic design families."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.consistency import check_consistency
+from repro.core.locality import is_local
+from repro.schemas.compare import schema_equivalent
+from repro.schemas.content_model import Formalism
+from repro.workloads import eurostat, synthetic
+
+
+class TestEurostatWorkload:
+    def test_global_dtd_matches_figure_3(self):
+        dtd = eurostat.global_dtd()
+        assert dtd.start == "eurostat"
+        assert dtd.content("country").accepts_epsilon()
+        assert dtd.content("nationalIndex").accepts(("country", "Good", "index"))
+        assert dtd.content("nationalIndex").accepts(("country", "Good", "value", "year"))
+
+    def test_kernel_document_scales_with_the_number_of_countries(self):
+        assert eurostat.kernel_document(2).functions == ("f0", "f1", "f2")
+        assert eurostat.kernel_document(("FR", "AT", "IT")).functions == ("f0", "f1", "f2", "f3")
+        assert eurostat.country_functions(3) == ("f1", "f2", "f3")
+
+    def test_full_extension_is_valid_for_the_global_type(self):
+        # The shape of Figure 2.
+        extension = eurostat.full_extension(countries=3)
+        assert eurostat.global_dtd().validate(extension)
+        assert extension.label == "eurostat"
+        assert extension.child_str()[0] == "averages"
+
+    def test_sample_documents_validate_against_the_figure4_typing(self):
+        typing = eurostat.figure4_typing(countries=2)
+        assert typing["f0"].validate(eurostat.averages_document())
+        assert typing["f1"].validate(eurostat.national_document("f1", use_index_format=True))
+        assert typing["f2"].validate(eurostat.national_document("f2", use_index_format=False))
+
+    def test_figure6_design_shape(self):
+        design = eurostat.figure6_design()
+        assert design.kernel.functions == ("f1", "f2", "f3")
+        assert design.target.specializations("nationalIndex") == {"natIndA", "natIndB"}
+
+    def test_bad_design_type_is_an_edtd(self):
+        assert eurostat.bad_design_type().schema_language == "EDTD"
+        assert eurostat.bad_design(2).kernel.functions == ("f0", "f1", "f2")
+
+
+class TestSyntheticFamilies:
+    def test_flat_and_interleaved_kernels(self):
+        assert synthetic.flat_kernel(3).functions == ("f1", "f2", "f3")
+        assert synthetic.flat_kernel(0).functions == ()
+        kernel = synthetic.interleaved_kernel(3)
+        assert kernel.child_labels(()) == ("f1", "sep", "f2", "sep", "f3")
+
+    def test_bottom_up_chain_is_always_consistent(self):
+        design = synthetic.bottom_up_chain(3)
+        for language in ("DTD", "SDTD", "EDTD"):
+            assert check_consistency(design.kernel, design.typing, language).consistent
+
+    def test_dfa_blowup_design_sizes(self):
+        small = synthetic.dfa_blowup_design(3).consistency("DTD", Formalism.DFA)
+        large = synthetic.dfa_blowup_design(6).consistency("DTD", Formalism.DFA)
+        small_nfa = synthetic.dfa_blowup_design(3).consistency("DTD", Formalism.NFA)
+        large_nfa = synthetic.dfa_blowup_design(6).consistency("DTD", Formalism.NFA)
+        assert large.type_size > 4 * small.type_size
+        assert large_nfa.type_size < 3 * small_nfa.type_size
+
+    def test_non_consistent_design(self):
+        design = synthetic.non_consistent_design(2)
+        assert check_consistency(design.kernel, design.typing, "EDTD").consistent
+        assert not check_consistency(design.kernel, design.typing, "DTD").consistent
+        assert not check_consistency(design.kernel, design.typing, "SDTD").consistent
+
+    def test_word_topdown_design_has_maximal_but_no_perfect_typings(self):
+        design = synthetic.word_topdown_design(2)
+        assert design.exists_local_typing()
+        assert not design.exists_perfect_typing()
+
+    def test_separable_topdown_design_has_a_perfect_typing(self):
+        design = synthetic.separable_topdown_design(2)
+        typing = design.find_perfect_typing()
+        assert typing is not None
+        assert is_local(design, typing)
+
+    def test_edtd_topdown_design(self):
+        design = synthetic.edtd_topdown_design(2)
+        assert design.schema_language == "EDTD"
+        assert design.exists_local_typing()
+        with pytest.raises(ValueError):
+            synthetic.edtd_topdown_design(0)
+
+    def test_random_valid_document(self):
+        dtd = eurostat.global_dtd()
+        rng = random.Random(7)
+        for _ in range(5):
+            document = synthetic.random_valid_document(dtd, rng)
+            assert dtd.validate(document)
+
+    def test_sample_content_word_respects_the_language(self):
+        from repro.automata.regex import regex_to_nfa
+
+        nfa = regex_to_nfa("a, b*, c", names=True)
+        rng = random.Random(3)
+        for _ in range(10):
+            word = synthetic.sample_content_word(nfa, rng)
+            assert word is not None and nfa.accepts(word)
+
+    def test_sample_content_word_of_empty_language_is_none(self):
+        from repro.automata.nfa import NFA
+
+        assert synthetic.sample_content_word(NFA.empty_language({"a"}), random.Random(0)) is None
