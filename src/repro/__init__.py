@@ -22,6 +22,8 @@ __version__ = "1.0.0"
 
 #: Names re-exported from :mod:`repro.api` (resolved lazily, PEP 562).
 _API_EXPORTS = (
+    "BatchValidator",
+    "CompilationEngine",
     "Design",
     "DesignReport",
     "analyze_design",
@@ -29,9 +31,11 @@ _API_EXPORTS = (
     "dtd",
     "sdtd",
     "edtd",
+    "get_default_engine",
     "kernel",
     "top_down_design",
     "tree",
+    "use_engine",
 )
 
 __all__ = list(_API_EXPORTS) + ["__version__"]

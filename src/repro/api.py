@@ -32,6 +32,12 @@ from repro.core.existence import (
 )
 from repro.core.kernel import KernelTree
 from repro.core.typing import SchemaType, TreeTyping
+from repro.engine import (
+    BatchValidator,
+    CompilationEngine,
+    get_default_engine,
+    use_engine,
+)
 from repro.trees.document import Tree
 from repro.trees.term import parse_term
 
@@ -47,6 +53,10 @@ __all__ = [
     "Design",
     "DesignReport",
     "analyze_design",
+    "BatchValidator",
+    "CompilationEngine",
+    "get_default_engine",
+    "use_engine",
 ]
 
 
@@ -140,6 +150,7 @@ class DesignReport:
     perfect_typing: Optional[TreeTyping] = None
     maximal_local_typings: list[TreeTyping] = field(default_factory=list)
     consistency: dict[str, ConsistencyResult] = field(default_factory=dict)
+    engine_stats: Optional[dict] = None
 
     @property
     def has_local_typing(self) -> bool:
@@ -179,21 +190,33 @@ def analyze_design(
     design: Design,
     maximal_limit: int = 4,
     schema_languages: tuple[str, ...] = ("DTD", "SDTD", "EDTD"),
+    engine: Optional[CompilationEngine] = None,
 ) -> DesignReport:
     """Run the paper's decision procedures on a design and collect the results.
 
     For a top-down design: ``∃-loc``, ``∃-perf`` and a bounded enumeration of
     maximal local typings.  For a bottom-up design: ``cons[S]`` for each
     requested schema language.
+
+    When ``engine`` is given it is installed as the compilation engine for
+    the duration of the analysis (an isolated cache with its own
+    statistics); otherwise the process-wide engine is used.  Either way the
+    report carries a snapshot of the engine's cache statistics for the whole
+    analysis, which is what the CLI ``--stats`` flag prints.
     """
     report = DesignReport(design=design)
-    if isinstance(design, TopDownDesign):
-        report.perfect_typing = find_perfect_typing(design)
-        report.local_typing = report.perfect_typing or find_local_typing(design)
-        report.maximal_local_typings = find_maximal_local_typings(design, limit=maximal_limit)
-        return report
-    if isinstance(design, BottomUpDesign):
-        for language in schema_languages:
-            report.consistency[language] = check_consistency(design.kernel, design.typing, language)
-        return report
-    raise DesignError(f"cannot analyse {design!r}")
+    with use_engine(engine) as active:
+        before = active.stats.snapshot()
+        if isinstance(design, TopDownDesign):
+            report.perfect_typing = find_perfect_typing(design)
+            report.local_typing = report.perfect_typing or find_local_typing(design)
+            report.maximal_local_typings = find_maximal_local_typings(design, limit=maximal_limit)
+        elif isinstance(design, BottomUpDesign):
+            for language in schema_languages:
+                report.consistency[language] = check_consistency(
+                    design.kernel, design.typing, language
+                )
+        else:
+            raise DesignError(f"cannot analyse {design!r}")
+        report.engine_stats = active.stats.delta(before)
+    return report

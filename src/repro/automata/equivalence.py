@@ -4,6 +4,16 @@
 Meyer & Stockmeyer); this module implements it exactly via subset
 construction and product exploration, with counter-example extraction used
 both by the tests and by the human-readable design reports.
+
+The public predicates (:func:`includes`, :func:`equivalent`,
+:func:`counterexample`, :func:`disjoint`, ...) route through the process
+:class:`~repro.engine.compilation.CompilationEngine`, which memoizes the
+verdicts by content fingerprint and answers equivalence of structurally
+identical automata without any product exploration.  The raw, uncached
+product search remains available as
+:func:`counterexample_inclusion_uncached`; it is what the engine itself
+calls on a cache miss, and what the property-based tests use as the
+independent oracle for the cached paths.
 """
 
 from __future__ import annotations
@@ -32,15 +42,23 @@ def _joint_alphabet(left: NFA, right: NFA, alphabet: Iterable[Symbol] | None) ->
     return left.alphabet | right.alphabet
 
 
-def counterexample_inclusion(
+def _engine():
+    from repro.engine.compilation import get_default_engine
+
+    return get_default_engine()
+
+
+def counterexample_inclusion_uncached(
     left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None
 ) -> Optional[Word]:
     """Return a word in ``[left] − [right]``, or ``None`` if ``[left] ⊆ [right]``.
 
     The search explores the product of the subset simulations of both
     automata breadth-first, so the returned counter-example is shortest.
+    This is the raw search; :func:`counterexample_inclusion` is the cached
+    entry point.
     """
-    symbols = _joint_alphabet(left, right, alphabet)
+    symbols = sorted(_joint_alphabet(left, right, alphabet))
     a = left.remove_epsilon()
     b = right.remove_epsilon()
     start = (a.epsilon_closure({a.initial}), b.epsilon_closure({b.initial}))
@@ -50,7 +68,7 @@ def counterexample_inclusion(
         word, (sa, sb) = queue.popleft()
         if (sa & a.finals) and not (sb & b.finals):
             return word
-        for symbol in sorted(symbols):
+        for symbol in symbols:
             na = a.step(sa, symbol)
             if not na:
                 # left cannot accept any extension; prune
@@ -63,17 +81,21 @@ def counterexample_inclusion(
     return None
 
 
+def counterexample_inclusion(
+    left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None
+) -> Optional[Word]:
+    """Cached version of :func:`counterexample_inclusion_uncached`."""
+    return _engine().inclusion_counterexample(left, right, alphabet)
+
+
 def includes(big: NFA, small: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
     """Decide ``[small] ⊆ [big]`` (the ``τ ≤ τ'`` relation of Section 2.4)."""
-    return counterexample_inclusion(small, big, alphabet) is None
+    return _engine().includes(big, small, alphabet)
 
 
 def equivalent(left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
     """Decide ``[left] = [right]`` (the problem ``equiv[R]``)."""
-    return (
-        counterexample_inclusion(left, right, alphabet) is None
-        and counterexample_inclusion(right, left, alphabet) is None
-    )
+    return _engine().equivalent(left, right, alphabet)
 
 
 def counterexample(
@@ -100,9 +122,7 @@ def proper_subset(small: NFA, big: NFA, alphabet: Iterable[Symbol] | None = None
 
 def disjoint(left: NFA, right: NFA) -> bool:
     """Decide ``[left] ∩ [right] = ∅`` without building the full product automaton."""
-    from repro.automata.operations import intersection
-
-    return intersection(left, right).is_empty_language()
+    return _engine().disjoint(left, right)
 
 
 def concat_universality(left: NFA, right: NFA, alphabet: Iterable[Symbol]) -> bool:
@@ -127,4 +147,4 @@ def language_equal_upto(left: NFA, right: NFA, max_length: int) -> bool:
 
 def minimal_dfa_size(nfa: NFA) -> int:
     """Number of states of the minimal DFA (state complexity of the language)."""
-    return len(DFA.from_nfa(nfa.remove_epsilon()).minimized().states)
+    return len(_engine().minimal_dfa(nfa).states)

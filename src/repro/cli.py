@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api import analyze_design, bottom_up_design, kernel, top_down_design
+from repro.engine import CompilationEngine, use_engine
 from repro.errors import ReproError
 from repro.schemas.dtd_text import parse_dtd_text
 from repro.trees.term import parse_term
@@ -50,6 +51,14 @@ def _add_common_kernel_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the compilation-engine cache statistics (hit rates) after the run",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-design",
@@ -62,9 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     topdown.add_argument("--start", help="root element (defaults to the first declared element)")
     topdown.add_argument("--maximal", type=int, default=4, help="how many maximal local typings to list")
     _add_common_kernel_argument(topdown)
+    _add_stats_argument(topdown)
 
     bottomup = subparsers.add_parser("bottomup", help="decide cons[S] for local schemas")
     _add_common_kernel_argument(bottomup)
+    _add_stats_argument(bottomup)
     bottomup.add_argument(
         "--type",
         action="append",
@@ -77,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--schema", required=True, help="path to the schema document")
     validate.add_argument("--start", help="root element (defaults to the first declared element)")
     validate.add_argument("--document", required=True, help="path to the document (XML or term notation)")
+    _add_stats_argument(validate)
 
     return parser
 
@@ -109,13 +121,17 @@ def _run_bottomup(args: argparse.Namespace) -> int:
 
 
 def _run_validate(args: argparse.Namespace) -> int:
+    from repro.engine import BatchValidator
+
     schema = _load_schema(args.schema, args.start)
     document = _load_document(args.document)
-    error = schema.validation_error(document)
-    if error is None:
+    # Membership runs on the compiled schema (so --stats is meaningful and
+    # repeated validations share the compilation); the uncompiled path is
+    # only consulted for the human-readable explanation of a failure.
+    if BatchValidator(schema).validate(document):
         print("valid")
         return 0
-    print(f"invalid: {error}")
+    print(f"invalid: {schema.validation_error(document)}")
     return 1
 
 
@@ -124,11 +140,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"topdown": _run_topdown, "bottomup": _run_bottomup, "validate": _run_validate}
+    # Each invocation runs on a fresh engine so that --stats reports the hit
+    # rates of this run alone, not of the whole process.
+    engine = CompilationEngine()
     try:
-        return handlers[args.command](args)
+        with use_engine(engine):
+            status = handlers[args.command](args)
     except (ReproError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if getattr(args, "stats", False):
+        print()
+        print(engine.stats_report())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

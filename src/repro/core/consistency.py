@@ -31,8 +31,8 @@ from typing import Optional, Union
 
 from repro.errors import DesignError
 from repro.automata import operations as ops
-from repro.automata.determinism import is_one_unambiguous
 from repro.automata.nfa import NFA
+from repro.engine.compilation import get_default_engine
 from repro.schemas.closures import dtd_closure, single_type_closure
 from repro.schemas.compare import schema_includes, schema_inclusion_counterexample
 from repro.schemas.content_model import ContentModel, Formalism
@@ -236,8 +236,9 @@ def check_consistency(
         )
 
     if formalism == Formalism.DRE:
+        engine = get_default_engine()
         for name, model in _content_models_of(closure).items():
-            if not is_one_unambiguous(model.nfa):
+            if not engine.one_unambiguous(model.nfa):
                 return ConsistencyResult(
                     consistent=False,
                     schema_language=language,

@@ -40,6 +40,20 @@ from repro.core.reduction import (
     perfect_kappa,
 )
 from repro.core.typing import TreeTyping, default_root_name
+from repro.engine.compilation import get_default_engine
+
+
+def _normalized(design: TopDownDesign) -> NormalizedEDTD:
+    """The normalised target of an EDTD design, memoized per design object.
+
+    ``analyze_design`` runs ``∃-perf``, ``∃-loc`` and the maximal-typing
+    enumeration on the same design; normalisation (a tree-automaton
+    determinisation, Section 4.3) is by far the most expensive shared
+    prefix, so it is computed once through the engine.
+    """
+    return get_default_engine().memo_identity(
+        "normalized-edtd", design, lambda: normalized_target(design)
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -162,7 +176,7 @@ def _find_typing(
         return _assembler(design, None)(components)
 
     # EDTD designs: normalise and work through κ assignments.
-    normalized = normalized_target(design)
+    normalized = _normalized(design)
     if perfect:
         kappa = perfect_kappa(design, normalized)
         if kappa is None:
@@ -261,7 +275,7 @@ def find_maximal_local_typings(
             return []
         combine(induced[0], None)
     else:
-        normalized = normalized_target(design)
+        normalized = _normalized(design)
         for kappa in enumerate_kappas(design, normalized):
             box_designs = induced_box_designs_edtd(design, normalized, kappa)
             combine(box_designs, normalized)

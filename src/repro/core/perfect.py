@@ -28,11 +28,11 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import NotCompatibleError, SearchBudgetExceeded
 from repro.automata import operations as ops
-from repro.automata.dfa import minimal_dfa
 from repro.automata.equivalence import disjoint, equivalent, includes, proper_subset
 from repro.automata.nfa import EPSILON, NFA
 from repro.automata.regex import ensure_nfa
 from repro.core.words import Box, KernelString, WordTyping, word_is_local, word_is_sound
+from repro.engine.compilation import get_default_engine
 
 
 class PerfectAutomaton:
@@ -55,14 +55,21 @@ class PerfectAutomaton:
         source = ensure_nfa(target)
         self.kernel = kernel
         self.alphabet = frozenset(source.alphabet) | kernel.alphabet
+        engine = get_default_engine()
         if canonical:
-            self.automaton = minimal_dfa(source).to_nfa().with_alphabet(self.alphabet)
+            self.automaton = engine.minimal_dfa(source).to_nfa().with_alphabet(self.alphabet)
         else:
-            self.automaton = source.remove_epsilon().with_alphabet(self.alphabet)
+            self.automaton = engine.epsilon_free(source).with_alphabet(self.alphabet)
         self.target = source.with_alphabet(self.alphabet)
         self._forward: list[frozenset] = []
         self._backward: list[frozenset] = []
-        self._fragments: Optional[list[list[tuple]]] = None
+        # The decision procedures (maximality rounds, the Dec(Ωi) cell
+        # search, the typing enumerations) revisit the same gaps over and
+        # over; the construction results are cached per instance.
+        self._endpoint_cache: dict[int, list[tuple]] = {}
+        self._fragment_cache: dict[int, list[NFA]] = {}
+        self._omega_cache: dict[int, NFA] = {}
+        self._decomposition_cache: dict[tuple[int, int], list[NFA]] = {}
         self._compute_state_sets()
 
     # ------------------------------------------------------------------ #
@@ -114,6 +121,8 @@ class PerfectAutomaton:
         """The (start, end) state pairs of the legal local automata of ``Aut(Ω_gap)``."""
         if not 1 <= gap <= self.kernel.n:
             raise ValueError(f"gap index must be in 1..{self.kernel.n}")
+        if gap in self._endpoint_cache:
+            return self._endpoint_cache[gap]
         starts = self._forward[gap - 1]
         ends = self._backward[gap]
         reachable_from = {state: self.automaton.reachable_states({state}) for state in starts}
@@ -122,18 +131,28 @@ class PerfectAutomaton:
             for end in sorted(ends, key=repr):
                 if end in reachable_from[start]:
                     pairs.append((start, end))
+        self._endpoint_cache[gap] = pairs
         return pairs
 
     def local_automata(self, gap: int) -> list[NFA]:
         """``Aut(Ω_gap)``: the legal local automata ``A(p, q)`` of the gap."""
-        return [self.automaton.fragment(start, end) for start, end in self.fragment_endpoints(gap)]
+        if gap not in self._fragment_cache:
+            self._fragment_cache[gap] = [
+                self.automaton.fragment(start, end) for start, end in self.fragment_endpoints(gap)
+            ]
+        return self._fragment_cache[gap]
 
     def omega_component(self, gap: int) -> NFA:
         """``Ω_gap = ∪ Aut(Ω_gap)`` (empty language when the design is incompatible)."""
+        if gap in self._omega_cache:
+            return self._omega_cache[gap]
         fragments = self.local_automata(gap)
         if not fragments:
-            return NFA.empty_language(self.alphabet)
-        return ops.union_all(fragments).with_alphabet(self.alphabet)
+            omega = NFA.empty_language(self.alphabet)
+        else:
+            omega = ops.union_all(fragments).with_alphabet(self.alphabet)
+        self._omega_cache[gap] = omega
+        return omega
 
     def omega_typing(self) -> WordTyping:
         """The candidate perfect typing ``(Ωn)``."""
@@ -219,6 +238,8 @@ class PerfectAutomaton:
         ``max_fragments`` local automata (the construction is exponential in
         that number -- this is the EXPSPACE machinery of Theorem 6.11).
         """
+        if (gap, max_fragments) in self._decomposition_cache:
+            return self._decomposition_cache[(gap, max_fragments)]
         fragments = self.local_automata(gap)
         if len(fragments) > max_fragments:
             raise SearchBudgetExceeded(
@@ -233,6 +254,7 @@ class PerfectAutomaton:
                 cell = ops.difference(cell, ops.union_all(others), self.alphabet)
             if not cell.is_empty_language():
                 cells.append(cell.with_alphabet(self.alphabet))
+        self._decomposition_cache[(gap, max_fragments)] = cells
         return cells
 
     def decompositions(self, max_fragments: int = 12) -> list[list[NFA]]:
@@ -245,9 +267,22 @@ class PerfectAutomaton:
 # --------------------------------------------------------------------------- #
 
 
+def compiled_perfect_automaton(target, kernel: KernelString) -> PerfectAutomaton:
+    """A :class:`PerfectAutomaton` memoized by target fingerprint and kernel.
+
+    ``∃-loc``, ``∃-ml``, ``ml`` and ``perf`` on the same word design all need
+    the same ``Ω(A, w)``; routing the construction through the engine shares
+    one instance (with its fragment and decomposition caches) across them.
+    """
+    engine = get_default_engine()
+    source = ensure_nfa(target)
+    key = (engine.fingerprint(source), kernel.segments, kernel.functions)
+    return engine.memo("perfect-automaton", key, lambda: PerfectAutomaton(source, kernel))
+
+
 def word_find_perfect_typing(target, kernel: KernelString) -> Optional[WordTyping]:
     """``∃-perf[nFA]``: return the perfect typing ``(Ωn)`` when one exists."""
-    perfect = PerfectAutomaton(target, kernel)
+    perfect = compiled_perfect_automaton(target, kernel)
     if not perfect.compatible:
         return None
     omega = perfect.omega_typing()
@@ -268,7 +303,7 @@ def word_is_perfect(target, kernel: KernelString, typing: Sequence[NFA]) -> bool
     to equivalence (Theorem 2.1), so the check reduces to component-wise
     equivalence with ``(Ωn)``.
     """
-    perfect = PerfectAutomaton(target, kernel)
+    perfect = compiled_perfect_automaton(target, kernel)
     if not perfect.compatible:
         return False
     omega = perfect.omega_typing()
@@ -311,7 +346,7 @@ def word_is_maximal_local(
     target, kernel: KernelString, typing: Sequence[NFA], max_fragments: int = 12
 ) -> bool:
     """``ml[nFA]``: is the typing local and maximal (Theorem 7.1)?"""
-    perfect = PerfectAutomaton(target, kernel)
+    perfect = compiled_perfect_automaton(target, kernel)
     if not word_is_local(perfect.target, kernel, typing):
         return False
     for _candidate in _extension_candidates(perfect, typing, max_fragments):
@@ -329,7 +364,7 @@ def word_find_maximal_local_typing(
     soundness is preserved; the fixpoint satisfies the maximality criterion
     of Theorem 7.1.
     """
-    perfect = PerfectAutomaton(target, kernel)
+    perfect = compiled_perfect_automaton(target, kernel)
     local = word_find_local_typing(target, kernel, max_fragments=max_fragments)
     if local is None:
         return None
@@ -386,7 +421,7 @@ def word_find_local_typing(
     typings built from decomposition cells, which is complete by
     Theorem 6.10 / Lemma 6.9.
     """
-    perfect = PerfectAutomaton(target, kernel)
+    perfect = compiled_perfect_automaton(target, kernel)
     if not perfect.compatible:
         return None
     omega = perfect.omega_typing()
@@ -418,7 +453,7 @@ def word_all_maximal_local_typings(
     filtering with the maximality criterion of Theorem 7.1 is complete.
     Used to regenerate the paper's Example 5 and Figure 6.
     """
-    perfect = PerfectAutomaton(target, kernel)
+    perfect = compiled_perfect_automaton(target, kernel)
     if not perfect.compatible or kernel.n == 0:
         return []
     results: list[WordTyping] = []

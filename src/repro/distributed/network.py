@@ -29,6 +29,8 @@ from repro.errors import DesignError
 from repro.core.kernel import KernelTree
 from repro.core.typing import SchemaType, TreeTyping
 from repro.distributed.peer import Message, Peer, ResourcePeer, document_bytes
+from repro.engine.batch import BatchReport, BatchValidator
+from repro.engine.compilation import CompilationEngine, get_default_engine
 from repro.trees.document import Tree
 
 #: Size of a control message (a call request or a boolean acknowledgement).
@@ -89,11 +91,13 @@ class DistributedDocument:
         documents: Mapping[str, Tree],
         coordinator_name: str = "coordinator",
         network: Optional[Network] = None,
+        engine: Optional[CompilationEngine] = None,
     ) -> None:
         missing = set(kernel.functions) - set(documents)
         if missing:
             raise DesignError(f"no resource document supplied for functions {sorted(missing)!r}")
         self.kernel = kernel
+        self.engine = engine if engine is not None else get_default_engine()
         self.network = network if network is not None else Network()
         self.coordinator = self.network.register(Peer(coordinator_name))
         self.resources: dict[str, ResourcePeer] = {}
@@ -107,11 +111,19 @@ class DistributedDocument:
     # ------------------------------------------------------------------ #
 
     def propagate_typing(self, typing: TreeTyping) -> None:
-        """Install a typing: send each peer its local type (one message each)."""
+        """Install a typing: send each peer its local type (one message each).
+
+        Each local type is compiled once through the shared engine; peers
+        whose types reuse the same content models (the common case -- every
+        component carries all rules of the global type, Theorems 4.2/4.5)
+        share the compiled per-label automata.
+        """
         for function, peer in self.resources.items():
             if function not in typing:
                 raise DesignError(f"the typing has no component for {function!r}")
-            peer.assign_type(typing[function])
+            peer.assign_type(
+                typing[function], BatchValidator(typing[function], engine=self.engine)
+            )
             self.network.send(
                 self.coordinator.name,
                 peer.name,
@@ -182,6 +194,22 @@ class DistributedDocument:
             bytes_shipped=self.network.bytes_shipped - before_bytes,
             guarantee=guarantee,
         )
+
+    def validate_batch(self, function: str, documents: Iterable[Tree]) -> BatchReport:
+        """Validate many candidate documents of one resource in a single pass.
+
+        This is the bulk path a resource uses before publishing (e.g. a
+        national bureau checking a backlog of monthly releases): the local
+        type is compiled once and every document only pays the membership
+        run.  No network traffic is involved -- that is the point of a local
+        typing.
+        """
+        if function not in self.resources:
+            raise DesignError(f"no resource peer serves function {function!r}")
+        peer = self.resources[function]
+        if peer.validator is None:
+            raise DesignError(f"no local type has been propagated to {peer.name!r}")
+        return peer.validator.report(documents)
 
     # ------------------------------------------------------------------ #
     # reporting

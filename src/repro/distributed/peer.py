@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.typing import SchemaType
+from repro.engine.batch import BatchValidator
 from repro.trees.document import Tree
 from repro.trees.xml_io import tree_to_xml
 
@@ -58,16 +59,36 @@ class ResourcePeer(Peer):
         attached to the kernel.
     local_type:
         The propagated local type ``τi``, when one has been assigned.
+    validator:
+        The compiled form of the local type.  Compilation happens once per
+        propagation (not once per validation); peers sharing content models
+        also share the compiled automata through the engine cache.
     """
 
     function: str = ""
     document: Optional[Tree] = None
     local_type: Optional[SchemaType] = None
+    validator: Optional[BatchValidator] = field(default=None, repr=False)
     calls: int = field(default=0, repr=False)
 
-    def assign_type(self, schema: SchemaType) -> None:
-        """Install the local type propagated by the designer."""
+    def assign_type(
+        self,
+        schema: SchemaType,
+        validator: Optional[BatchValidator] = None,
+        engine=None,
+    ) -> None:
+        """Install the local type propagated by the designer (compiled once).
+
+        Pass either a pre-built ``validator`` (what
+        :meth:`~repro.distributed.network.DistributedDocument.propagate_typing`
+        does, so all peers compile on the document's shared engine) or the
+        ``engine`` to compile on; with neither, the thread-default engine is
+        used.
+        """
         self.local_type = schema
+        self.validator = (
+            validator if validator is not None else BatchValidator(schema, engine=engine)
+        )
 
     def answer(self) -> Tree:
         """Return the document for a call of the resource (counts the call)."""
@@ -90,6 +111,8 @@ class ResourcePeer(Peer):
             raise RuntimeError(f"peer {self.name!r} has no local type to validate against")
         if self.document is None:
             return False
+        if self.validator is not None:
+            return self.validator.validate(self.document)
         return self.local_type.validate(self.document)
 
     def document_size(self) -> int:

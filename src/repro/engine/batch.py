@@ -1,0 +1,173 @@
+"""Batch validation: compile a schema once, validate many documents.
+
+The seed's ``schema.validate(tree)`` rebuilt the unranked tree automaton
+*and* re-ran every horizontal automaton with epsilon closures on every call
+-- per document, per peer, per benchmark round.  :class:`CompiledSchema`
+performs that work once: the tree automaton is built a single time, its
+horizontal NFAs are epsilon-freed through the
+:class:`~repro.engine.compilation.CompilationEngine` (so peers whose local
+types share content models share the compiled automata too), and membership
+runs on a grouped-by-label rule table without closure recomputation.
+
+:class:`BatchValidator` is the user-facing wrapper: it validates one
+document, a batch of documents in a single pass, or produces a
+:class:`BatchReport` for monitoring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.automata.nfa import NFA
+from repro.trees.automata import UnrankedTreeAutomaton
+from repro.trees.document import Tree
+
+#: Bound on the per-schema memo of already-validated document objects.
+_DOCUMENT_MEMO_CAPACITY = 512
+
+
+class CompiledSchema:
+    """A schema compiled for repeated membership tests.
+
+    Parameters
+    ----------
+    schema:
+        Anything with a ``to_uta()`` method (DTD / SDTD / EDTD /
+        NormalizedEDTD) or an :class:`UnrankedTreeAutomaton` directly.
+    engine:
+        The compilation engine used to epsilon-free the horizontal automata;
+        defaults to the process-wide engine, so structurally identical
+        content models compile once across all schemas and peers.
+    """
+
+    def __init__(self, schema, engine=None) -> None:
+        from repro.engine.compilation import SCHEMA_TO_UTA_KIND, get_default_engine
+
+        self.engine = engine if engine is not None else get_default_engine()
+        self.schema = schema
+        if isinstance(schema, UnrankedTreeAutomaton):
+            uta = schema
+        else:
+            # Same identity memo as repro.schemas.compare.schema_to_uta: a
+            # schema object converts once no matter which layer asks.
+            uta = self.engine.memo_identity(SCHEMA_TO_UTA_KIND, schema, schema.to_uta)
+        self.uta = uta
+        self.finals = uta.finals
+        # Rules grouped by label: at a node labelled `l` only the (state, l)
+        # horizontal automata can fire, so the bottom-up pass never scans the
+        # full state set the way the seed's UTA membership did.
+        self._rules_by_label: dict[str, list[tuple[object, NFA]]] = {}
+        for (state, label), nfa in uta.horizontal.items():
+            compiled = self.engine.epsilon_free(nfa)
+            self._rules_by_label.setdefault(label, []).append((state, compiled))
+        self._document_memo: OrderedDict[int, tuple[Tree, frozenset]] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _horizontal_accepts(nfa: NFA, child_sets: Sequence[frozenset]) -> bool:
+        """Does the ε-free ``nfa`` accept some word drawn from ``child_sets``?"""
+        current = {nfa.initial}
+        for child_set in child_sets:
+            moved: set = set()
+            for state in current:
+                row = nfa.transitions.get(state)
+                if not row:
+                    continue
+                for symbol in child_set:
+                    targets = row.get(symbol)
+                    if targets:
+                        moved |= targets
+            if not moved:
+                return False
+            current = moved
+        return bool(current & nfa.finals)
+
+    def _possible_states(self, tree: Tree) -> frozenset:
+        child_sets = [self._possible_states(child) for child in tree.children]
+        if any(not child_set for child_set in child_sets):
+            return frozenset()
+        rules = self._rules_by_label.get(tree.label)
+        if not rules:
+            return frozenset()
+        return frozenset(
+            state for state, nfa in rules if self._horizontal_accepts(nfa, child_sets)
+        )
+
+    def possible_states(self, tree: Tree) -> frozenset:
+        """The states assignable to the root of ``tree``, memoized per document.
+
+        The memo is keyed by object identity with the document pinned, so
+        re-validating the same (immutable) document object -- the common case
+        for resource peers -- is a dictionary lookup.
+        """
+        entry = self._document_memo.get(id(tree))
+        if entry is not None and entry[0] is tree:
+            self._document_memo.move_to_end(id(tree))
+            self.engine.stats.record_hit("batch-validate")
+            return entry[1]
+        self.engine.stats.record_miss("batch-validate")
+        states = self._possible_states(tree)
+        self._document_memo[id(tree)] = (tree, states)
+        if len(self._document_memo) > _DOCUMENT_MEMO_CAPACITY:
+            self._document_memo.popitem(last=False)
+            self.engine.stats.record_eviction("batch-validate")
+        return states
+
+    def accepts(self, tree: Tree) -> bool:
+        return bool(self.possible_states(tree) & self.finals)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """The outcome of validating a batch of documents against one schema."""
+
+    results: tuple[bool, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def valid_count(self) -> int:
+        return sum(self.results)
+
+    @property
+    def all_valid(self) -> bool:
+        return all(self.results)
+
+    def __str__(self) -> str:
+        return f"{self.valid_count}/{self.total} documents valid"
+
+
+class BatchValidator:
+    """Validate many documents (or many peers' documents) against one schema."""
+
+    def __init__(self, schema, engine=None) -> None:
+        self.compiled = CompiledSchema(schema, engine)
+
+    @property
+    def schema(self):
+        return self.compiled.schema
+
+    def validate(self, document: Tree) -> bool:
+        """Membership of one document in the compiled schema's language."""
+        return self.compiled.accepts(document)
+
+    def validate_many(self, documents: Iterable[Tree]) -> list[bool]:
+        """Validate a batch in one pass over the compiled automaton."""
+        return [self.compiled.accepts(document) for document in documents]
+
+    def report(self, documents: Iterable[Tree]) -> BatchReport:
+        return BatchReport(tuple(self.validate_many(documents)))
+
+    def first_invalid(self, documents: Iterable[Tree]) -> Optional[Tree]:
+        """The first document rejected by the schema, or ``None``."""
+        for document in documents:
+            if not self.compiled.accepts(document):
+                return document
+        return None

@@ -1,0 +1,167 @@
+"""A bounded LRU cache with hit / miss / eviction accounting.
+
+The cache is deliberately simple: an :class:`collections.OrderedDict` keyed
+by hashable tuples, move-to-end on access, popitem(last=False) on overflow.
+Statistics are kept both globally and per *kind* (the first element of every
+key the :class:`~repro.engine.compilation.CompilationEngine` uses), so the
+``--stats`` report can show where the hits come from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache (or one kind of entry within a cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    by_kind: dict[str, "CacheStats"] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def _kind(self, kind: str) -> "CacheStats":
+        if kind not in self.by_kind:
+            self.by_kind[kind] = CacheStats()
+        return self.by_kind[kind]
+
+    def record_hit(self, kind: Optional[str] = None) -> None:
+        self.hits += 1
+        if kind is not None:
+            self._kind(kind).hits += 1
+
+    def record_miss(self, kind: Optional[str] = None) -> None:
+        self.misses += 1
+        if kind is not None:
+            self._kind(kind).misses += 1
+
+    def record_eviction(self, kind: Optional[str] = None) -> None:
+        self.evictions += 1
+        if kind is not None:
+            self._kind(kind).evictions += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view (what :class:`~repro.api.DesignReport` stores)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "by_kind": {
+                kind: {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "hit_rate": stats.hit_rate,
+                }
+                for kind, stats in sorted(self.by_kind.items())
+            },
+        }
+
+    def delta(self, before: dict[str, Any]) -> dict[str, Any]:
+        """The counters accumulated since an earlier :meth:`snapshot`.
+
+        Returns the same plain-dict shape as :meth:`snapshot` (without the
+        per-kind breakdown), with the hit rate computed over the delta.
+        """
+        hits = self.hits - before["hits"]
+        misses = self.misses - before["misses"]
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": self.evictions - before["evictions"],
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.by_kind.clear()
+
+    def report(self, title: str = "engine cache") -> str:
+        """A small human-readable table (what the CLI ``--stats`` flag prints)."""
+        lines = [
+            f"{title}: {self.hits} hits / {self.lookups} lookups "
+            f"({100.0 * self.hit_rate:.1f}% hit rate), {self.evictions} evictions"
+        ]
+        for kind, stats in sorted(self.by_kind.items()):
+            lines.append(
+                f"  {kind:<18} hits={stats.hits:<6} misses={stats.misses:<6} "
+                f"hit_rate={100.0 * stats.hit_rate:.1f}%"
+            )
+        return "\n".join(lines)
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A least-recently-used mapping with bounded capacity and statistics."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, kind: Optional[str] = None) -> Any:
+        """Return the cached value or ``None``, recording a hit or a miss."""
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.stats.record_miss(kind)
+            return None
+        self._entries.move_to_end(key)
+        self.stats.record_hit(kind)
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, kind: Optional[str] = None) -> Any:
+        """Insert a value, evicting the least recently used entry on overflow.
+
+        An eviction is attributed to the kind of the entry being *dropped*,
+        not the one being inserted -- the per-kind report must show which
+        pipeline stage is thrashing.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, kind)
+        if len(self._entries) > self.capacity:
+            _evicted_key, (_evicted_value, evicted_kind) = self._entries.popitem(last=False)
+            self.stats.record_eviction(evicted_kind)
+        return value
+
+    def get_or_compute(self, key: Hashable, thunk: Callable[[], Any], kind: Optional[str] = None) -> Any:
+        """The memoisation primitive: one lookup, one compute-and-store on miss.
+
+        ``None`` is a legal cached value (inclusion counter-examples use it
+        for "no counter-example"), which is why this does not layer on
+        :meth:`get`.
+        """
+        entry = self._entries.get(key, _MISSING)
+        if entry is not _MISSING:
+            self._entries.move_to_end(key)
+            self.stats.record_hit(kind)
+            return entry[0]
+        self.stats.record_miss(kind)
+        return self.put(key, thunk(), kind)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,133 @@
+"""Canonical fingerprints for content-addressing automata.
+
+A fingerprint is a short hex digest over a canonical serialisation of an
+automaton's states, transitions, finals and alphabet.  Two automata with the
+same fingerprint are structurally identical up to the canonical state
+renaming, hence define the same language -- which is what makes fingerprints
+sound both as cache keys and as an equivalence fast-path.
+
+Canonicalisation orders states by breadth-first discovery from the initial
+state (labels visited in sorted order, targets in a stable order), so the
+fingerprint does not depend on the incidental iteration order of the
+underlying dictionaries and sets.  For DFAs the breadth-first order is fully
+determined by the transition structure, so the DFA fingerprint is invariant
+under state renaming; for NFAs ties among targets of one transition are
+broken by ``repr`` (the same stable order the rest of the library uses), so
+the NFA fingerprint is stable for identically-constructed automata, which is
+exactly the sharing that occurs when content models are reused across rules,
+nodes and peers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from collections.abc import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import EPSILON, NFA
+
+#: Number of hex characters kept from the sha256 digest (128 bits).
+_DIGEST_LENGTH = 32
+
+
+def _digest(parts: Iterable[str]) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:_DIGEST_LENGTH]
+
+
+def alphabet_key(symbols: Iterable[str]) -> str:
+    """A canonical digest of a symbol set (used inside pairwise cache keys)."""
+    return _digest(sorted(symbols))
+
+
+def _nfa_state_order(nfa: NFA) -> dict[object, int]:
+    """Canonical state indices: BFS from the initial state, then leftovers."""
+    order: dict[object, int] = {nfa.initial: 0}
+    queue = deque([nfa.initial])
+    while queue:
+        state = queue.popleft()
+        row = nfa.transitions.get(state, {})
+        for label in sorted(row):
+            for target in sorted(row[label], key=repr):
+                if target not in order:
+                    order[target] = len(order)
+                    queue.append(target)
+    for state in sorted(nfa.states - order.keys(), key=repr):
+        order[state] = len(order)
+    return order
+
+
+def nfa_fingerprint(nfa: NFA) -> str:
+    """Content-address an NFA (epsilon transitions included verbatim)."""
+    order = _nfa_state_order(nfa)
+    triples = sorted(
+        (order[src], label if label != EPSILON else "\x00ε", order[dst])
+        for src, label, dst in nfa.iter_transitions()
+    )
+    parts = [
+        "nfa",
+        str(len(nfa.states)),
+        ",".join(sorted(nfa.alphabet)),
+        ",".join(str(order[state]) for state in sorted(nfa.finals, key=order.__getitem__)),
+        ";".join(f"{src}>{label}>{dst}" for src, label, dst in triples),
+    ]
+    return _digest(parts)
+
+
+def _dfa_state_order(dfa: DFA) -> dict[object, int]:
+    order: dict[object, int] = {dfa.initial: 0}
+    queue = deque([dfa.initial])
+    symbols = sorted(dfa.alphabet)
+    while queue:
+        state = queue.popleft()
+        for symbol in symbols:
+            target = dfa.transitions.get((state, symbol))
+            if target is not None and target not in order:
+                order[target] = len(order)
+                queue.append(target)
+    for state in sorted(dfa.states - order.keys(), key=repr):
+        order[state] = len(order)
+    return order
+
+
+def dfa_fingerprint(dfa: DFA) -> str:
+    """Content-address a DFA; invariant under renaming of reachable states."""
+    order = _dfa_state_order(dfa)
+    triples = sorted(
+        (order[src], symbol, order[dst]) for (src, symbol), dst in dfa.transitions.items()
+    )
+    parts = [
+        "dfa",
+        str(len(dfa.states)),
+        ",".join(sorted(dfa.alphabet)),
+        ",".join(str(order[state]) for state in sorted(dfa.finals, key=order.__getitem__)),
+        ";".join(f"{src}>{symbol}>{dst}" for src, symbol, dst in triples),
+    ]
+    return _digest(parts)
+
+
+def uta_fingerprint(uta) -> str:
+    """Content-address an unranked tree automaton through its horizontal NFAs.
+
+    The digest covers the vertical states, the label alphabet, the final
+    states and, for every ``(state, label)`` rule, the fingerprint of its
+    horizontal automaton -- so two schemas compiled to structurally identical
+    tree automata share one fingerprint (and hence one cached verdict for
+    every tree-language comparison they take part in).
+    """
+    rules = sorted(
+        (repr(state), label, nfa_fingerprint(nfa))
+        for (state, label), nfa in uta.horizontal.items()
+    )
+    parts = [
+        "uta",
+        ",".join(sorted(map(repr, uta.states))),
+        ",".join(sorted(uta.alphabet)),
+        ",".join(sorted(map(repr, uta.finals))),
+        ";".join(f"{state}@{label}:{digest}" for state, label, digest in rules),
+    ]
+    return _digest(parts)

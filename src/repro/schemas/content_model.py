@@ -21,7 +21,7 @@ import enum
 from typing import Optional, Union
 
 from repro.errors import UnsupportedFormalismError
-from repro.automata.dfa import DFA, minimal_dfa
+from repro.automata.dfa import DFA
 from repro.automata.determinism import is_one_unambiguous
 from repro.automata.nfa import NFA
 from repro.automata.regex import Regex, ensure_nfa, is_deterministic_regex, parse_regex
@@ -126,8 +126,16 @@ class ContentModel:
         return self._regex
 
     def to_dfa(self) -> DFA:
-        """The minimal DFA of the content-model language."""
-        return minimal_dfa(self.nfa)
+        """The minimal DFA of the content-model language.
+
+        Compilation is delegated to the process
+        :class:`~repro.engine.compilation.CompilationEngine`, so repeated
+        calls (size accounting, validation, inclusion checks) reuse one
+        memoized subset construction per distinct language representation.
+        """
+        from repro.engine.compilation import get_default_engine
+
+        return get_default_engine().minimal_dfa(self.nfa)
 
     @property
     def size(self) -> int:

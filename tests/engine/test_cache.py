@@ -1,0 +1,106 @@
+"""LRU cache semantics: hits, misses, evictions, bounded capacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import CacheStats, LRUCache
+
+
+def test_get_records_miss_then_hit():
+    cache = LRUCache(capacity=4)
+    assert cache.get("a", kind="k") is None
+    cache.put("a", 1, kind="k")
+    assert cache.get("a", kind="k") == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.by_kind["k"].hits == 1
+    assert cache.stats.by_kind["k"].misses == 1
+
+
+def test_get_or_compute_computes_once():
+    cache = LRUCache(capacity=4)
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_compute("key", thunk) == "value"
+    assert cache.get_or_compute("key", thunk) == "value"
+    assert len(calls) == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_get_or_compute_caches_none_results():
+    cache = LRUCache(capacity=4)
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return None
+
+    assert cache.get_or_compute("key", thunk) is None
+    assert cache.get_or_compute("key", thunk) is None
+    assert len(calls) == 1
+
+
+def test_eviction_drops_least_recently_used():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a; b becomes the LRU entry
+    cache.put("c", 3)
+    assert cache.stats.evictions == 1
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert len(cache) == 2
+
+
+def test_capacity_is_never_exceeded():
+    cache = LRUCache(capacity=3)
+    for index in range(10):
+        cache.put(index, index)
+    assert len(cache) == 3
+    assert cache.stats.evictions == 7
+
+
+def test_put_refreshes_existing_key_without_eviction():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # update, not insert
+    assert cache.stats.evictions == 0
+    assert cache.get("a") == 10
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=0)
+
+
+def test_stats_hit_rate_and_report():
+    stats = CacheStats()
+    assert stats.hit_rate == 0.0
+    stats.record_hit("x")
+    stats.record_hit("x")
+    stats.record_miss("y")
+    assert stats.lookups == 3
+    assert stats.hit_rate == pytest.approx(2 / 3)
+    text = stats.report("test cache")
+    assert "test cache" in text
+    assert "2 hits / 3 lookups" in text
+    assert "x" in text and "y" in text
+    snapshot = stats.snapshot()
+    assert snapshot["hits"] == 2
+    assert snapshot["by_kind"]["y"]["misses"] == 1
+
+
+def test_stats_reset():
+    stats = CacheStats()
+    stats.record_hit("x")
+    stats.record_miss()
+    stats.reset()
+    assert stats.lookups == 0
+    assert stats.by_kind == {}

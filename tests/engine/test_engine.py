@@ -1,0 +1,242 @@
+"""CompilationEngine semantics: memoization, stats, and agreement with the
+uncached decision procedures (the engine must never change a verdict)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.automata.dfa import DFA, minimal_dfa
+from repro.automata.equivalence import (
+    counterexample_inclusion_uncached,
+    equivalent,
+    includes,
+)
+from repro.automata.nfa import NFA
+from repro.automata.regex import (
+    Concat,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    parse_regex,
+)
+from repro.engine.compilation import CompilationEngine, use_engine
+
+ALPHABET = ("a", "b")
+
+symbols = st.sampled_from(ALPHABET)
+
+regexes = st.recursive(
+    st.one_of(symbols.map(Sym), st.just(Epsilon())),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda pair: Union(pair)),
+        st.tuples(children, children).map(lambda pair: Concat(pair)),
+        children.map(Star),
+        children.map(Plus),
+        children.map(Opt),
+    ),
+    max_leaves=5,
+)
+
+
+def _nfa_of(text: str) -> NFA:
+    return parse_regex(text, names=True).to_nfa()
+
+
+# --------------------------------------------------------------------------- #
+# pipeline memoization
+# --------------------------------------------------------------------------- #
+
+
+def test_minimal_dfa_cached_and_correct():
+    engine = CompilationEngine()
+    nfa = _nfa_of("(a | b)*, a, b")
+    first = engine.minimal_dfa(nfa)
+    second = engine.minimal_dfa(nfa)
+    assert first is second  # the compiled automaton is shared, not rebuilt
+    assert engine.stats.by_kind["minimal-dfa"].hits == 1
+    reference = minimal_dfa(nfa)
+    assert len(first.states) == len(reference.states)
+    assert len(first.transitions) == len(reference.transitions)
+
+
+def test_structurally_identical_automata_share_compilation():
+    engine = CompilationEngine()
+    first = engine.minimal_dfa(_nfa_of("a*, b"))
+    second = engine.minimal_dfa(_nfa_of("a*, b"))  # distinct object, same structure
+    assert first is second
+    assert engine.stats.by_kind["minimal-dfa"].hits == 1
+
+
+def test_epsilon_free_skips_cache_for_epsilon_free_input():
+    engine = CompilationEngine()
+    nfa = NFA({0, 1}, {"a"}, {0: {"a": {1}}}, 0, {1})
+    assert engine.epsilon_free(nfa) is nfa
+    assert engine.stats.lookups == 0
+
+
+def test_eviction_is_counted():
+    engine = CompilationEngine(capacity=2)
+    for text in ("a", "b", "a, b", "b, a"):
+        engine.minimal_dfa(_nfa_of(text))
+    assert engine.stats.evictions > 0
+
+
+def test_determinize_result_feeds_minimization():
+    engine = CompilationEngine()
+    nfa = _nfa_of("(a | b)*, a")
+    dfa = engine.determinize(nfa)
+    assert isinstance(dfa, DFA)
+    # minimal_dfa reuses the cached determinization
+    engine.minimal_dfa(nfa)
+    assert engine.stats.by_kind["determinize"].hits == 1
+
+
+# --------------------------------------------------------------------------- #
+# verdict caching
+# --------------------------------------------------------------------------- #
+
+
+def test_inclusion_verdict_cached_with_witness():
+    engine = CompilationEngine()
+    left = _nfa_of("a, a")
+    right = _nfa_of("a")
+    witness_one = engine.inclusion_counterexample(left, right)
+    witness_two = engine.inclusion_counterexample(left, right)
+    assert witness_one == ("a", "a")
+    assert witness_one is witness_two
+    assert engine.stats.by_kind["inclusion"].hits == 1
+    assert witness_one == counterexample_inclusion_uncached(left, right)
+
+
+def test_fingerprint_fast_path_answers_without_product():
+    engine = CompilationEngine()
+    left = _nfa_of("(a | b)*")
+    right = _nfa_of("(a | b)*")
+    assert engine.equivalent(left, right)
+    # No inclusion product was explored: the fingerprints matched.
+    assert "inclusion" not in engine.stats.by_kind
+    assert engine.fingerprint_fast_path_hits == 1
+    assert "fast-path: 1" in engine.stats_report()
+
+
+def test_engine_routing_preserves_module_level_api():
+    with use_engine(CompilationEngine()) as engine:
+        assert includes(_nfa_of("a | b"), _nfa_of("a"))
+        assert not includes(_nfa_of("a"), _nfa_of("b"))
+        assert equivalent(_nfa_of("a, b"), _nfa_of("a, b"))
+        assert not equivalent(_nfa_of("a"), _nfa_of("b"))
+        assert engine.stats.lookups > 0
+
+
+# --------------------------------------------------------------------------- #
+# property tests: cached results are identical to the uncached oracles
+# --------------------------------------------------------------------------- #
+
+
+@given(regexes, regexes)
+def test_engine_inclusion_matches_uncached(left_regex: Regex, right_regex: Regex):
+    left, right = left_regex.to_nfa(), right_regex.to_nfa()
+    engine = CompilationEngine()
+    expected = counterexample_inclusion_uncached(left, right)
+    actual = engine.inclusion_counterexample(left, right)
+    repeated = engine.inclusion_counterexample(left, right)
+    assert actual == expected
+    assert repeated == expected  # byte-identical across the cache hit
+
+
+@given(regexes, regexes)
+def test_engine_equivalence_matches_double_inclusion(left_regex: Regex, right_regex: Regex):
+    left, right = left_regex.to_nfa(), right_regex.to_nfa()
+    engine = CompilationEngine()
+    expected = (
+        counterexample_inclusion_uncached(left, right) is None
+        and counterexample_inclusion_uncached(right, left) is None
+    )
+    assert engine.equivalent(left, right) == expected
+    assert engine.equivalent(left, right) == expected
+
+
+@given(regexes)
+def test_engine_minimal_dfa_language_identical(regex: Regex):
+    nfa = regex.to_nfa()
+    engine = CompilationEngine()
+    compiled = engine.minimal_dfa(nfa)
+    reference = minimal_dfa(nfa)
+    assert len(compiled.states) == len(reference.states)
+    assert nfa.language_upto(4) == compiled.to_nfa().with_alphabet(nfa.alphabet).language_upto(4)
+
+
+@given(regexes)
+def test_disjoint_matches_uncached_product(regex: Regex):
+    from repro.automata.operations import intersection
+
+    nfa = regex.to_nfa()
+    other = _nfa_of("a, b, a")
+    engine = CompilationEngine()
+    expected = intersection(nfa, other).is_empty_language()
+    assert engine.disjoint(nfa, other) == expected
+    assert engine.disjoint(other, nfa) == expected  # symmetric key
+
+
+def test_eviction_attributed_to_evicted_kind():
+    from repro.engine.cache import LRUCache
+
+    cache = LRUCache(capacity=1)
+    cache.put("a", 1, kind="alpha")
+    cache.put("b", 2, kind="beta")  # evicts the alpha entry
+    assert cache.stats.by_kind["alpha"].evictions == 1
+    assert "beta" not in cache.stats.by_kind or cache.stats.by_kind["beta"].evictions == 0
+
+
+def test_perfect_automaton_cache_distinguishes_structurally_different_kernels():
+    from repro.core.perfect import compiled_perfect_automaton
+    from repro.core.words import Box, KernelString
+
+    # Both kernels render to the string "f1": one is the plain label word
+    # (no functions), the other a single function between empty segments.
+    label_kernel = KernelString([Box.from_word(["f1"])], [])
+    function_kernel = KernelString([Box.epsilon(), Box.epsilon()], ["f1"])
+    target = _nfa_of("a*")
+    with use_engine(CompilationEngine()):
+        as_label = compiled_perfect_automaton(target, label_kernel)
+        as_function = compiled_perfect_automaton(target, function_kernel)
+        assert as_label is not as_function
+        assert as_label.kernel.n == 0
+        assert as_function.kernel.n == 1
+
+
+def test_default_engine_is_thread_local():
+    import threading
+
+    from repro.engine.compilation import get_default_engine
+
+    main_engine = get_default_engine()
+    seen = {}
+
+    def worker():
+        seen["engine"] = get_default_engine()
+        with use_engine(CompilationEngine()) as injected:
+            seen["injected"] = get_default_engine() is injected
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert seen["engine"] is not main_engine  # each thread gets its own default
+    assert seen["injected"]
+    assert get_default_engine() is main_engine  # the worker never touched ours
+
+
+def test_cache_stats_delta():
+    engine = CompilationEngine()
+    engine.minimal_dfa(_nfa_of("a*, b"))
+    before = engine.stats.snapshot()
+    engine.minimal_dfa(_nfa_of("a*, b"))  # one hit
+    delta = engine.stats.delta(before)
+    assert delta["hits"] == 1
+    assert delta["misses"] == 0
+    assert delta["hit_rate"] == 1.0

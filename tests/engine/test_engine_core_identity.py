@@ -1,0 +1,118 @@
+"""Engine-routed decision procedures are identical to the uncached paths.
+
+A capacity-1 engine evicts on every insertion, so every lookup recomputes:
+running the same procedure under a large cache and under the degenerate
+cache and comparing the full results checks that memoization (and eviction)
+never changes an outcome -- for ``cons[S]``, the perfect/maximal typing
+machinery and word-level equivalence alike.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import Concat, Epsilon, Opt, Plus, Star, Sym, Union
+from repro.core.consistency import check_consistency
+from repro.core.existence import find_local_typing, find_maximal_local_typings, find_perfect_typing
+from repro.core.perfect import word_find_perfect_typing
+from repro.core.words import KernelString
+from repro.engine.compilation import CompilationEngine, use_engine
+from repro.workloads import eurostat, synthetic
+
+ALPHABET = ("a", "b")
+
+symbols = st.sampled_from(ALPHABET)
+
+regexes = st.recursive(
+    st.one_of(symbols.map(Sym), st.just(Epsilon())),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda pair: Union(pair)),
+        st.tuples(children, children).map(lambda pair: Concat(pair)),
+        children.map(Star),
+        children.map(Plus),
+        children.map(Opt),
+    ),
+    max_leaves=4,
+)
+
+
+def _degenerate_engine() -> CompilationEngine:
+    """An engine that can keep at most one entry: every reuse is a recompute."""
+    return CompilationEngine(capacity=1)
+
+
+@given(regexes, regexes)
+def test_equivalence_same_under_cached_and_evicting_engines(left_regex, right_regex):
+    left, right = left_regex.to_nfa(), right_regex.to_nfa()
+    with use_engine(CompilationEngine()):
+        cached = equivalent(left, right)
+    with use_engine(_degenerate_engine()):
+        uncached = equivalent(left, right)
+    assert cached == uncached
+
+
+def test_consistency_results_identical_across_engines():
+    design = synthetic.bottom_up_chain(3)
+    outcomes = []
+    for engine in (CompilationEngine(), _degenerate_engine()):
+        with use_engine(engine):
+            run = {}
+            for language in ("EDTD", "SDTD", "DTD"):
+                result = check_consistency(design.kernel, design.typing, language)
+                run[language] = (result.consistent, result.reason, result.type_size)
+            outcomes.append(run)
+    assert outcomes[0] == outcomes[1]
+
+
+def test_negative_consistency_identical_across_engines():
+    design = synthetic.non_consistent_design(2)
+    verdicts = []
+    for engine in (CompilationEngine(), _degenerate_engine()):
+        with use_engine(engine):
+            result = check_consistency(design.kernel, design.typing, "DTD")
+            verdicts.append((result.consistent, result.counterexample))
+    assert verdicts[0] == verdicts[1]
+
+
+def test_perfect_typing_identical_across_engines():
+    design = eurostat.top_down_design(2)
+    with use_engine(CompilationEngine()):
+        cached = find_perfect_typing(design)
+    with use_engine(_degenerate_engine()):
+        uncached = find_perfect_typing(design)
+    assert cached is not None and uncached is not None
+    assert cached.equivalent_to(uncached)
+
+
+def test_word_perfect_typing_identical_across_engines():
+    kernel = KernelString.parse("a f1 b f2")
+    target = Concat((Sym("a"), Concat((Star(Sym("a")), Concat((Sym("b"), Star(Sym("b")))))))).to_nfa()
+    results = []
+    for engine in (CompilationEngine(), _degenerate_engine()):
+        with use_engine(engine):
+            typing = word_find_perfect_typing(target, kernel)
+            assert typing is not None
+            results.append(tuple(component.language_upto(3) for component in typing))
+    assert results[0] == results[1]
+
+
+def test_local_and_maximal_typings_identical_across_engines():
+    from repro.api import dtd, kernel, top_down_design
+
+    design = top_down_design(dtd("s", {"s": "a*, b, c*"}), kernel("s(f1 b f2)"))
+    runs = []
+    for engine in (CompilationEngine(), _degenerate_engine()):
+        with use_engine(engine):
+            local = find_local_typing(design)
+            maximal = find_maximal_local_typings(design, limit=4)
+            runs.append((local, maximal))
+    local_a, maximal_a = runs[0]
+    local_b, maximal_b = runs[1]
+    assert (local_a is None) == (local_b is None)
+    if local_a is not None:
+        assert local_a.equivalent_to(local_b)
+    assert len(maximal_a) == len(maximal_b)
+    for left, right in zip(maximal_a, maximal_b):
+        assert left.equivalent_to(right)

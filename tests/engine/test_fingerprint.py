@@ -1,0 +1,70 @@
+"""Fingerprint stability: equal structure ⟹ equal digest, and the converse risks."""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.regex import parse_regex
+from repro.engine.fingerprint import alphabet_key, dfa_fingerprint, nfa_fingerprint, uta_fingerprint
+
+
+def _nfa_of(text: str) -> NFA:
+    return parse_regex(text).to_nfa()
+
+
+def test_identical_construction_same_fingerprint():
+    assert nfa_fingerprint(_nfa_of("a*, b")) == nfa_fingerprint(_nfa_of("a*, b"))
+
+
+def test_fingerprint_is_deterministic_per_object():
+    nfa = _nfa_of("(a | b)*, c")
+    assert nfa_fingerprint(nfa) == nfa_fingerprint(nfa)
+
+
+def test_different_languages_different_fingerprints():
+    assert nfa_fingerprint(_nfa_of("a, b")) != nfa_fingerprint(_nfa_of("b, a"))
+    assert nfa_fingerprint(_nfa_of("a*")) != nfa_fingerprint(_nfa_of("a+"))
+
+
+def test_finals_and_alphabet_affect_fingerprint():
+    base = NFA({0, 1}, {"a"}, {0: {"a": {1}}}, 0, {1})
+    no_finals = NFA({0, 1}, {"a"}, {0: {"a": {1}}}, 0, set())
+    wider = NFA({0, 1}, {"a", "b"}, {0: {"a": {1}}}, 0, {1})
+    assert nfa_fingerprint(base) != nfa_fingerprint(no_finals)
+    assert nfa_fingerprint(base) != nfa_fingerprint(wider)
+
+
+def test_dfa_fingerprint_invariant_under_state_renaming():
+    transitions = {("p", "a"): "q", ("q", "b"): "p"}
+    left = DFA({"p", "q"}, {"a", "b"}, transitions, "p", {"q"})
+    renamed = DFA(
+        {"x", "y"}, {"a", "b"}, {("x", "a"): "y", ("y", "b"): "x"}, "x", {"y"}
+    )
+    assert dfa_fingerprint(left) == dfa_fingerprint(renamed)
+
+
+def test_dfa_fingerprint_separates_structures():
+    left = DFA({"p", "q"}, {"a"}, {("p", "a"): "q"}, "p", {"q"})
+    loop = DFA({"p", "q"}, {"a"}, {("p", "a"): "q", ("q", "a"): "q"}, "p", {"q"})
+    assert dfa_fingerprint(left) != dfa_fingerprint(loop)
+
+
+def test_epsilon_transitions_are_fingerprinted():
+    with_eps = NFA({0, 1}, {"a"}, {0: {"": {1}}, 1: {"a": {1}}}, 0, {1})
+    without = NFA({0, 1}, {"a"}, {0: {"a": {1}}, 1: {"a": {1}}}, 0, {1})
+    assert nfa_fingerprint(with_eps) != nfa_fingerprint(without)
+
+
+def test_alphabet_key_is_order_insensitive():
+    assert alphabet_key(["b", "a"]) == alphabet_key(("a", "b"))
+    assert alphabet_key(["a"]) != alphabet_key(["a", "b"])
+
+
+def test_uta_fingerprint_tracks_schema_structure():
+    from repro.api import dtd
+
+    left = dtd("s", {"s": "a*, b"})
+    right = dtd("s", {"s": "a*, b"})
+    other = dtd("s", {"s": "a*, c"})
+    assert uta_fingerprint(left.to_uta()) == uta_fingerprint(right.to_uta())
+    assert uta_fingerprint(left.to_uta()) != uta_fingerprint(other.to_uta())

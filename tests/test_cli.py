@@ -102,3 +102,25 @@ class TestValidate:
     def test_missing_file_is_reported(self, schema_file, capsys):
         assert main(["validate", "--schema", str(schema_file), "--document", "missing.xml"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_flag_prints_cache_report(self, schema_file, capsys):
+        exit_code = main(
+            [
+                "topdown",
+                "--schema",
+                str(schema_file),
+                "--kernel",
+                "eurostat(averages(f0) f1 f2)",
+                "--stats",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine cache:" in output
+        assert "hit rate" in output
+
+    def test_stats_flag_off_by_default(self, schema_file, capsys):
+        main(["topdown", "--schema", str(schema_file), "--kernel", "eurostat(averages(f0) f1 f2)"])
+        assert "engine cache:" not in capsys.readouterr().out
