@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Machine-readable core-benchmark runner: ``BENCH_core.json`` across PRs.
+
+Runs the table2 / table3 / fig7 scenarios (the same decision procedures the
+pytest-benchmark modules time) with a plain ``perf_counter`` harness and
+writes one JSON file mapping scenario name to mean milliseconds, problem
+sizes, and the git SHA, so the performance trajectory of the repository is
+diffable across PRs::
+
+    PYTHONPATH=src python benchmarks/run_all.py                # full run
+    PYTHONPATH=src python benchmarks/run_all.py --smoke        # CI-sized run
+    PYTHONPATH=src python benchmarks/run_all.py --smoke \\
+        --check benchmarks/BENCH_baseline.json --max-regression 3.0
+
+``--check`` compares against a committed baseline and exits non-zero when
+any scenario regressed by more than ``--max-regression`` (default 3×); new
+or removed scenarios are reported but never fail the check.
+
+Each scenario is timed twice: ``cold`` (fresh compilation engine every
+round -- the end-to-end cost of a first analysis) and ``warm`` (one shared
+engine -- the steady-state cost the serving layers see).  Means are over
+``--rounds`` rounds after one untimed warm-up round for the warm case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:  # pragma: no cover - git may be absent in CI images
+        return "unknown"
+
+
+# --------------------------------------------------------------------------- #
+# scenarios
+# --------------------------------------------------------------------------- #
+
+
+def _scenario_table2_cons(language: str, n: int):
+    """cons[S] on the bottom-up chain family (Table 2)."""
+    from repro.core.consistency import check_consistency
+    from repro.workloads import synthetic
+
+    design = synthetic.bottom_up_chain(n)
+    sizes = {"resources": n, "kernel": design.kernel.size, "typing": design.typing.size}
+
+    def run():
+        result = check_consistency(design.kernel, design.typing, language)
+        assert result.consistent
+
+    return run, sizes
+
+
+def _scenario_table3_perfect(k: int):
+    """∃-perf on the separable top-down family (Table 3 row E)."""
+    from repro.core.existence import find_perfect_typing
+    from repro.workloads import synthetic
+
+    design = synthetic.separable_topdown_design(k)
+    sizes = {"k": k}
+
+    def run():
+        assert find_perfect_typing(design) is not None
+
+    return run, sizes
+
+
+def _scenario_table3_local(k: int):
+    """∃-loc on the interleaved word family (Table 3 row D)."""
+    from repro.core.existence import find_local_typing
+    from repro.workloads import synthetic
+
+    design = synthetic.word_topdown_design(k)
+    sizes = {"k": k}
+
+    def run():
+        assert find_local_typing(design) is not None
+
+    return run, sizes
+
+
+def _scenario_fig7_build(k: int, functions: int):
+    """Perfect-automaton construction Ω(A, w) (Figure 7 / Algorithm 1)."""
+    from repro.automata.regex import regex_to_nfa
+    from repro.core.perfect import PerfectAutomaton
+    from repro.core.words import KernelString
+
+    symbols = ", ".join(f"x{i}" for i in range(1, k + 1))
+    target = regex_to_nfa(f"({symbols})+", names=True)
+    kernel = KernelString(
+        [()] * (functions + 1), [f"f{i}" for i in range(1, functions + 1)]
+    )
+    sizes = {"target_states": k, "functions": functions}
+
+    def run():
+        perfect = PerfectAutomaton(target, kernel)
+        assert perfect.compatible
+        perfect.omega_nfa()
+
+    return run, sizes
+
+
+def _scenarios(smoke: bool):
+    cons_sizes = (2, 8) if smoke else (2, 4, 8)
+    for language in ("EDTD", "SDTD", "DTD"):
+        for n in cons_sizes:
+            yield f"table2_cons_{language.lower()}_{n}", _scenario_table2_cons(language, n)
+    for k in ((2,) if smoke else (2, 3, 4)):
+        yield f"table3_exists_perfect_{k}", _scenario_table3_perfect(k)
+    for k in ((2,) if smoke else (2, 3)):
+        yield f"table3_exists_local_{k}", _scenario_table3_local(k)
+    fig7_cases = ((8, 3),) if smoke else ((2, 1), (4, 2), (8, 3))
+    for k, functions in fig7_cases:
+        yield f"fig7_perfect_automaton_{k}_{functions}", _scenario_fig7_build(k, functions)
+
+
+# --------------------------------------------------------------------------- #
+# harness
+# --------------------------------------------------------------------------- #
+
+
+def _time_rounds(run, rounds: int, fresh_engine: bool) -> list[float]:
+    from repro.engine.compilation import reset_default_engine
+
+    times = []
+    if not fresh_engine:
+        reset_default_engine()
+        run()  # warm-up: populate the engine caches
+    for _ in range(rounds):
+        if fresh_engine:
+            reset_default_engine()
+        start = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_benchmarks(smoke: bool, rounds: int) -> dict:
+    results = {}
+    for name, (run, sizes) in _scenarios(smoke):
+        cold = _time_rounds(run, max(1, rounds // 3), fresh_engine=True)
+        warm = _time_rounds(run, rounds, fresh_engine=False)
+        results[name] = {
+            "mean_ms": round(1000 * statistics.mean(warm), 4),
+            "min_ms": round(1000 * min(warm), 4),
+            "cold_mean_ms": round(1000 * statistics.mean(cold), 4),
+            "rounds": rounds,
+            "sizes": sizes,
+        }
+        print(
+            f"{name:40s} warm {results[name]['mean_ms']:9.3f} ms   "
+            f"cold {results[name]['cold_mean_ms']:9.3f} ms"
+        )
+    return results
+
+
+def check_regressions(current: dict, baseline_path: Path, max_regression: float) -> int:
+    """Fail when any scenario regressed by more than ``max_regression``.
+
+    The baseline may come from a different machine (the committed one is
+    recorded on a dev box, CI runs on shared runners), so raw wall-clock
+    ratios conflate hardware speed with code regressions.  Ratios are
+    therefore *normalized by the median ratio across all scenarios*: a
+    uniformly slower machine shifts every ratio equally and normalizes
+    away, while a genuine per-scenario regression stands out against the
+    rest of the run.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    baseline_results = baseline.get("results", {})
+    ratios = {}
+    for name, entry in current.items():
+        reference = baseline_results.get(name)
+        if reference is None:
+            print(f"note: scenario {name} has no baseline entry (new scenario)")
+            continue
+        ratios[name] = (entry["mean_ms"] / max(reference["mean_ms"], 1e-6), reference["mean_ms"], entry["mean_ms"])
+    for name in baseline_results:
+        if name not in current:
+            print(f"note: baseline scenario {name} was not run")
+    if not ratios:
+        print("no scenarios in common with the baseline; nothing to check")
+        return 0
+    machine_factor = statistics.median(ratio for ratio, _ref, _cur in ratios.values())
+    print(f"machine factor (median ratio vs baseline): {machine_factor:.2f}x")
+    failures = []
+    for name, (ratio, reference_ms, current_ms) in sorted(ratios.items()):
+        normalized = ratio / max(machine_factor, 1e-6)
+        status = "OK" if normalized <= max_regression else "REGRESSION"
+        print(
+            f"{name:40s} {reference_ms:9.3f} -> {current_ms:9.3f} ms  "
+            f"({ratio:5.2f}x raw, {normalized:5.2f}x normalized)  {status}"
+        )
+        if normalized > max_regression:
+            failures.append((name, normalized))
+    if failures:
+        print(f"\n{len(failures)} scenario(s) regressed by more than {max_regression}x (normalized):")
+        for name, normalized in failures:
+            print(f"  {name}: {normalized:.2f}x")
+        return 1
+    print(f"\nno scenario regressed by more than {max_regression}x (normalized)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized subset and fewer rounds")
+    parser.add_argument("--rounds", type=int, default=None, help="timed rounds per scenario")
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_core.json"
+    )
+    parser.add_argument("--check", type=Path, default=None, help="baseline JSON to compare against")
+    parser.add_argument("--max-regression", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds if args.rounds is not None else (5 if args.smoke else 20)
+    results = run_benchmarks(args.smoke, rounds)
+    payload = {
+        "git_sha": _git_sha(),
+        "smoke": args.smoke,
+        "rounds": rounds,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    if args.check is not None:
+        return check_regressions(results, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,12 @@
 
 A :class:`DFA` keeps a *partial* transition function; :meth:`DFA.completed`
 adds an explicit sink state when a total function is required (e.g. before
-complementation).  :meth:`DFA.minimized` implements Moore's partition
-refinement, which is what the one-unambiguity test of
-:mod:`repro.automata.determinism` and the size accounting of Table 2 rely on.
+complementation).  :meth:`DFA.minimized` routes through Hopcroft's
+partition refinement in :mod:`repro.automata.kernel`, which is what the
+one-unambiguity test of :mod:`repro.automata.determinism` and the size
+accounting of Table 2 rely on; :meth:`DFA.minimized_moore` and
+:meth:`DFA.from_nfa_legacy` keep the original Moore/frozenset
+implementations as differential-testing oracles.
 """
 
 from __future__ import annotations
@@ -59,7 +62,20 @@ class DFA:
 
     @classmethod
     def from_nfa(cls, nfa: NFA) -> "DFA":
-        """Subset construction.  Only reachable subset states are generated."""
+        """Subset construction.  Only reachable subset states are generated.
+
+        Routed through the bitset kernel
+        (:func:`repro.automata.kernel.determinize_nfa`); the result is
+        state-for-state identical to :meth:`from_nfa_legacy`, which remains
+        the differential-testing oracle.
+        """
+        from repro.automata.kernel.determinize import determinize_nfa
+
+        return determinize_nfa(nfa)
+
+    @classmethod
+    def from_nfa_legacy(cls, nfa: NFA) -> "DFA":
+        """The original frozenset-of-frozensets subset construction (oracle)."""
         start = nfa.epsilon_closure({nfa.initial})
         states = {start}
         transitions: dict[tuple[frozenset, Symbol], frozenset] = {}
@@ -167,14 +183,23 @@ class DFA:
         return DFA(keep, self.alphabet, transitions, self.initial, self.finals & keep)
 
     def minimized(self) -> "DFA":
-        """Moore partition-refinement minimisation.
+        """Minimisation via Hopcroft's O(n·|Σ|·log n) partition refinement.
 
         The result is the canonical minimal *complete* DFA of the language,
         trimmed of the sink state when the sink is not needed to keep the
         transition function meaningful (i.e. the returned automaton is the
         minimal partial DFA: every state is reachable and co-reachable,
-        except that the initial state is always kept).
+        except that the initial state is always kept).  Hopcroft and Moore
+        compute the same Myhill-Nerode partition, so the output is identical
+        to :meth:`minimized_moore` (the legacy oracle) object-for-object.
         """
+        from repro.automata.kernel.hopcroft import hopcroft_partition
+
+        total = self.completed().trimmed()
+        return total._lower_partition(hopcroft_partition(total))
+
+    def minimized_moore(self) -> "DFA":
+        """Moore partition-refinement minimisation (the legacy oracle)."""
         total = self.completed().trimmed()
         # initial partition: finals vs non-finals
         partition: list[frozenset[State]] = []
@@ -185,28 +210,32 @@ class DFA:
             partition.append(frozenset(non_finals))
         symbols = sorted(total.alphabet)
 
-        def block_of(state: State, blocks: Sequence[frozenset[State]]) -> int:
-            for index, block in enumerate(blocks):
-                if state in block:
-                    return index
-            raise AssertionError("state not covered by partition")
-
         changed = True
         while changed:
             changed = False
+            block_index = {state: index for index, block in enumerate(partition) for state in block}
             new_partition: list[frozenset[State]] = []
             for block in partition:
                 signature_groups: dict[tuple, set[State]] = {}
                 for state in block:
                     signature = tuple(
-                        block_of(total.delta(state, symbol), partition) for symbol in symbols
+                        block_index[total.delta(state, symbol)] for symbol in symbols
                     )
                     signature_groups.setdefault(signature, set()).add(state)
                 if len(signature_groups) > 1:
                     changed = True
                 new_partition.extend(frozenset(group) for group in signature_groups.values())
             partition = new_partition
+        return total._lower_partition(partition)
 
+    def _lower_partition(self, partition: Sequence[frozenset[State]]) -> "DFA":
+        """Build the minimal DFA from a Myhill-Nerode partition of ``self``.
+
+        ``self`` must be complete and trimmed.  Block representatives and
+        the final sink-dropping are shared by the Hopcroft and Moore paths,
+        so both produce the same automaton.
+        """
+        symbols = sorted(self.alphabet)
         representative = {block: min(block, key=repr) for block in partition}
         state_to_block = {state: block for block in partition for state in block}
         states = set(representative.values())
@@ -215,10 +244,10 @@ class DFA:
             src = representative[block]
             sample = next(iter(block))
             for symbol in symbols:
-                dst_state = total.delta(sample, symbol)
+                dst_state = self.delta(sample, symbol)
                 transitions[(src, symbol)] = representative[state_to_block[dst_state]]
-        finals = {representative[state_to_block[state]] for state in total.finals}
-        minimal = DFA(states, total.alphabet, transitions, representative[state_to_block[total.initial]], finals)
+        finals = {representative[state_to_block[state]] for state in self.finals}
+        minimal = DFA(states, self.alphabet, transitions, representative[state_to_block[self.initial]], finals)
         return minimal._drop_sink()
 
     def _drop_sink(self) -> "DFA":

@@ -9,11 +9,13 @@ The public predicates (:func:`includes`, :func:`equivalent`,
 :func:`counterexample`, :func:`disjoint`, ...) route through the process
 :class:`~repro.engine.compilation.CompilationEngine`, which memoizes the
 verdicts by content fingerprint and answers equivalence of structurally
-identical automata without any product exploration.  The raw, uncached
+identical automata without any product exploration.  Boolean verdicts are
+decided by the antichain search of :mod:`repro.automata.kernel` (no
+complement automaton, no left determinisation); the raw breadth-first
 product search remains available as
-:func:`counterexample_inclusion_uncached`; it is what the engine itself
-calls on a cache miss, and what the property-based tests use as the
-independent oracle for the cached paths.
+:func:`counterexample_inclusion_uncached` -- it is what extracts shortest
+witness words on a failed inclusion, and what the property-based tests use
+as the independent oracle for the cached paths.
 """
 
 from __future__ import annotations

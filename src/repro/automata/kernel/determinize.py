@@ -1,0 +1,93 @@
+"""Bitset subset construction (determinisation) on the compact kernel.
+
+:func:`subset_construction` explores exactly the subset states the legacy
+``DFA.from_nfa`` explores -- the start subset is the ε-closure of the
+initial state and each macro-step is ``closure ∘ move ∘ closure`` -- but a
+subset is one big-int bitmask instead of a ``frozenset`` of hashable
+objects, so the visited-set lookups and the per-symbol moves are integer
+operations.  :func:`determinize_nfa` lowers the result back to the public
+:class:`~repro.automata.dfa.DFA` with the same frozenset-of-states naming
+the legacy construction used, so callers (and fingerprints of reachable
+states) cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.dfa import DFA
+from repro.automata.kernel.compact import CompactNFA
+from repro.automata.nfa import NFA
+
+
+def subset_construction(
+    compact: CompactNFA,
+) -> tuple[list[int], dict[tuple[int, int], int], int]:
+    """Determinize a compact NFA; everything stays integer-coded.
+
+    Returns ``(subset_masks, transitions, finals)`` where ``subset_masks``
+    lists the reachable subset states (index = dense DFA state id, mask =
+    the NFA states it contains; state ``0`` is the start), ``transitions``
+    maps ``(dfa_state, symbol_id)`` to a DFA state id, and ``finals`` is a
+    bitmask over DFA state ids.
+    """
+    start = compact.initial_closed
+    subset_masks = [start]
+    index_of_mask = {start: 0}
+    transitions: dict[tuple[int, int], int] = {}
+    finals = 0
+    if compact.accepts_mask(start):
+        finals |= 1
+    queue = deque([0])
+    delta = compact.delta
+    closures = compact.closures
+    num_symbols = len(compact.symbols)
+    while queue:
+        state_id = queue.popleft()
+        mask = subset_masks[state_id]
+        for symbol_id in range(num_symbols):
+            row = delta[symbol_id]
+            moved = 0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                moved |= row[low.bit_length() - 1]
+                remaining ^= low
+            if not moved:
+                continue
+            nxt = 0
+            remaining = moved
+            while remaining:
+                low = remaining & -remaining
+                nxt |= closures[low.bit_length() - 1]
+                remaining ^= low
+            nxt_id = index_of_mask.get(nxt)
+            if nxt_id is None:
+                nxt_id = len(subset_masks)
+                index_of_mask[nxt] = nxt_id
+                subset_masks.append(nxt)
+                if compact.accepts_mask(nxt):
+                    finals |= 1 << nxt_id
+                queue.append(nxt_id)
+            transitions[(state_id, symbol_id)] = nxt_id
+    return subset_masks, transitions, finals
+
+
+def determinize_nfa(nfa: NFA) -> DFA:
+    """Kernel-backed replacement for the legacy ``DFA.from_nfa``.
+
+    The returned DFA is state-for-state identical to the legacy subset
+    construction: states are the reachable ε-closed subsets of ``nfa``'s
+    states, as frozensets of the original state objects.
+    """
+    compact = CompactNFA(nfa)
+    subset_masks, transitions, _finals = subset_construction(compact)
+    lowered = [compact.states_for(mask) for mask in subset_masks]
+    symbols = compact.symbols
+    dfa_transitions = {
+        (lowered[src], symbols[symbol_id]): lowered[dst]
+        for (src, symbol_id), dst in transitions.items()
+    }
+    nfa_finals = nfa.finals
+    finals = {subset for subset in lowered if subset & nfa_finals}
+    return DFA(lowered, nfa.alphabet, dfa_transitions, lowered[0], finals)

@@ -22,6 +22,9 @@ from typing import Any, Optional
 #: The epsilon label used in transition relations.  It is not a legal symbol.
 EPSILON = ""
 
+#: Shared empty transition row (avoids allocating one per missing-state lookup).
+_EMPTY_ROW: dict = {}
+
 State = Any
 Symbol = str
 Word = tuple[Symbol, ...]
@@ -61,7 +64,7 @@ class NFA:
         Iterable of accepting states.
     """
 
-    __slots__ = ("states", "alphabet", "transitions", "initial", "finals")
+    __slots__ = ("states", "alphabet", "transitions", "initial", "finals", "_closure_cache")
 
     def __init__(
         self,
@@ -79,6 +82,11 @@ class NFA:
         for src, row in transitions.items():
             table[src] = {label: frozenset(dsts) for label, dsts in row.items() if dsts}
         self.transitions = table
+        #: Per-state ε-closure memo.  The automaton is immutable, so each
+        #: state's closure is computed by one BFS ever; every later
+        #: ``epsilon_closure`` / ``step`` / subset-construction call is a
+        #: dictionary lookup plus a union.
+        self._closure_cache: dict[State, frozenset[State]] = {}
         self._validate()
 
     # ------------------------------------------------------------------ #
@@ -174,24 +182,51 @@ class NFA:
     # runs
     # ------------------------------------------------------------------ #
 
-    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
-        """Return the set of states reachable from ``states`` via epsilon moves."""
-        closure = set(states)
-        stack = list(closure)
+    def _state_closure(self, state: State) -> frozenset[State]:
+        """The ε-closure of one state (memoized; the automaton is immutable)."""
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        closure = {state}
+        stack = [state]
+        transitions = self.transitions
         while stack:
-            state = stack.pop()
-            for nxt in self.successors(state, EPSILON):
+            current = stack.pop()
+            for nxt in transitions.get(current, _EMPTY_ROW).get(EPSILON, ()):
                 if nxt not in closure:
                     closure.add(nxt)
                     stack.append(nxt)
-        return frozenset(closure)
+        result = frozenset(closure)
+        self._closure_cache[state] = result
+        return result
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """Return the set of states reachable from ``states`` via epsilon moves."""
+        iterator = iter(states)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return frozenset()
+        closure = self._state_closure(first)
+        result: Optional[set[State]] = None
+        for state in iterator:
+            extra = self._state_closure(state)
+            if extra <= closure:
+                continue
+            if result is None:
+                result = set(closure)
+            result |= extra
+        return closure if result is None else frozenset(result)
 
     def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
         """One macro-step of the subset simulation: closure, then ``symbol``, then closure."""
         current = self.epsilon_closure(states)
         moved: set[State] = set()
+        transitions = self.transitions
         for state in current:
-            moved |= self.successors(state, symbol)
+            targets = transitions.get(state, _EMPTY_ROW).get(symbol)
+            if targets:
+                moved |= targets
         return self.epsilon_closure(moved)
 
     def run(self, word: str | Sequence[Symbol], start: Optional[Iterable[State]] = None) -> frozenset[State]:
@@ -219,22 +254,28 @@ class NFA:
         """States reachable from ``start`` (default: the initial state) via any labels."""
         seen = set({self.initial} if start is None else start)
         stack = list(seen)
+        transitions = self.transitions
         while stack:
             state = stack.pop()
-            for row in (self.transitions.get(state, {}),):
-                for dsts in row.values():
-                    for dst in dsts:
-                        if dst not in seen:
-                            seen.add(dst)
-                            stack.append(dst)
+            for dsts in transitions.get(state, _EMPTY_ROW).values():
+                for dst in dsts:
+                    if dst not in seen:
+                        seen.add(dst)
+                        stack.append(dst)
         return frozenset(seen)
 
     def coreachable_states(self, targets: Optional[Iterable[State]] = None) -> frozenset[State]:
         """States from which some state in ``targets`` (default: finals) is reachable."""
         goal = frozenset(self.finals if targets is None else targets)
-        predecessors: dict[State, set[State]] = {state: set() for state in self.states}
-        for src, _label, dst in self.iter_transitions():
-            predecessors[dst].add(src)
+        predecessors: dict[State, list[State]] = {}
+        for src, row in self.transitions.items():
+            for dsts in row.values():
+                for dst in dsts:
+                    bucket = predecessors.get(dst)
+                    if bucket is None:
+                        predecessors[dst] = [src]
+                    else:
+                        bucket.append(src)
         seen = set(goal)
         stack = list(goal)
         while stack:
@@ -252,6 +293,8 @@ class NFA:
         automaton even when the language is empty.
         """
         useful = self.reachable_states() & self.coreachable_states()
+        if useful == self.states:
+            return self
         keep = useful | {self.initial}
         transitions: dict[State, dict[Symbol, set[State]]] = {}
         for src, label, dst in self.iter_transitions():
@@ -285,6 +328,8 @@ class NFA:
     def with_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
         """Return the same automaton over a (super-)alphabet."""
         symbols = frozenset(alphabet) | self.alphabet
+        if symbols == self.alphabet:
+            return self
         return NFA(self.states, symbols, self.transitions, self.initial, self.finals)
 
     def restrict_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
@@ -403,12 +448,20 @@ class NFA:
 
         This is the "alphabet of the language" used, e.g., when building the
         single-type closure of an EDTD or the ``kappa`` assignment of
-        Corollary 4.16.
+        Corollary 4.16.  Computed directly from the useful-state set -- the
+        trimmed automaton itself is never materialised.
         """
-        trimmed = self.trim()
-        return frozenset(
-            label for _src, label, _dst in trimmed.iter_transitions() if label != EPSILON
-        )
+        useful = self.reachable_states() & self.coreachable_states()
+        used = set()
+        for src, row in self.transitions.items():
+            if src not in useful:
+                continue
+            for label, dsts in row.items():
+                if label == EPSILON or label in used:
+                    continue
+                if any(dst in useful for dst in dsts):
+                    used.add(label)
+        return frozenset(used)
 
     # ------------------------------------------------------------------ #
     # dunder methods

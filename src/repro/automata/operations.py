@@ -106,19 +106,38 @@ def reverse(nfa: NFA) -> NFA:
 def intersection(*automata: NFA) -> NFA:
     """The automaton defining ``[A1] ∩ ... ∩ [Ak]`` (the paper's ``∩A``).
 
-    Uses the synchronous product of the epsilon-free automata.
+    Uses the synchronous product of the epsilon-free automata, explored on
+    the integer/bitset kernel
+    (:func:`repro.automata.kernel.product_intersection`); the pair-state
+    naming matches the legacy :func:`_binary_intersection` oracle exactly.
     """
+    from repro.automata.kernel.inclusion import product_intersection
+
     if not automata:
         raise ValueError("intersection of zero automata is undefined")
     if len(automata) == 1:
         return automata[0]
     result = automata[0]
     for other in automata[1:]:
-        result = _binary_intersection(result, other)
+        result = product_intersection(result, other)
     return result
 
 
+def intersects(left: NFA, right: NFA) -> bool:
+    """Decide ``[left] ∩ [right] ≠ ∅`` without materialising the product.
+
+    The kernel explores the synchronous product pair-by-pair and stops at
+    the first jointly accepting pair, so deciding non-disjointness never
+    pays for the full product the way ``intersection(...).is_empty_language()``
+    does.
+    """
+    from repro.automata.kernel.inclusion import nfa_intersects
+
+    return nfa_intersects(left, right)
+
+
 def _binary_intersection(left: NFA, right: NFA) -> NFA:
+    """The legacy object-level synchronous product (differential oracle)."""
     a = left.remove_epsilon()
     b = right.remove_epsilon()
     alphabet = a.alphabet & b.alphabet

@@ -29,6 +29,7 @@ from typing import Iterable, Optional, Sequence
 from repro.errors import NotCompatibleError, SearchBudgetExceeded
 from repro.automata import operations as ops
 from repro.automata.equivalence import disjoint, equivalent, includes, proper_subset
+from repro.automata.kernel.compact import CompactNFA, iter_bits
 from repro.automata.nfa import EPSILON, NFA
 from repro.automata.regex import ensure_nfa
 from repro.core.words import Box, KernelString, WordTyping, word_is_local, word_is_sound
@@ -57,10 +58,29 @@ class PerfectAutomaton:
         self.alphabet = frozenset(source.alphabet) | kernel.alphabet
         engine = get_default_engine()
         if canonical:
-            self.automaton = engine.minimal_dfa(source).to_nfa().with_alphabet(self.alphabet)
+            # Memoized alongside the minimal DFA itself: repeated
+            # constructions over the same target share one NFA object (and
+            # with it the per-state ε-closure memo and fingerprint).
+            minimal_nfa = engine.memo(
+                "minimal-dfa-as-nfa",
+                (engine.fingerprint(source),),
+                lambda: engine.minimal_dfa(source).to_nfa(),
+            )
+            self.automaton = minimal_nfa.with_alphabet(self.alphabet)
         else:
             self.automaton = engine.epsilon_free(source).with_alphabet(self.alphabet)
         self.target = source.with_alphabet(self.alphabet)
+        # Compact bitset view of the working automaton: states interned to
+        # dense integers, per-state forward/backward reachability computed
+        # once as bitmasks.  Every gap construction below (legal endpoint
+        # pairs, fragment trimming, the Ω product's allowed-state sets)
+        # re-asks the same reachability questions; with the kernel view each
+        # is an integer AND/OR instead of a fresh graph traversal.  The view
+        # is memoized per automaton object, so designs over one (shared,
+        # engine-memoized) target automaton lift it exactly once.
+        self._compact = engine.memo_identity(
+            "compact-view", self.automaton, lambda: CompactNFA(self.automaton)
+        )
         self._forward: list[frozenset] = []
         self._backward: list[frozenset] = []
         # The decision procedures (maximality rounds, the Dec(Ωi) cell
@@ -70,17 +90,26 @@ class PerfectAutomaton:
         self._fragment_cache: dict[int, list[NFA]] = {}
         self._omega_cache: dict[int, NFA] = {}
         self._decomposition_cache: dict[tuple[int, int], list[NFA]] = {}
+        self._segment_nfa_cache: Optional[list[NFA]] = None
         self._compute_state_sets()
+
+    def _segment_nfas(self) -> list[NFA]:
+        """The segment automata, converted from their boxes once per instance."""
+        if self._segment_nfa_cache is None:
+            self._segment_nfa_cache = [segment.to_nfa() for segment in self.kernel.segments]
+        return self._segment_nfa_cache
 
     # ------------------------------------------------------------------ #
     # forward / backward state sets
     # ------------------------------------------------------------------ #
 
     def _reach_closure(self, states: Iterable) -> frozenset:
-        return self.automaton.reachable_states(frozenset(states) or frozenset())
+        compact = self._compact
+        return compact.states_for(compact.reachable_from(compact.mask_for(states)))
 
     def _coreach_closure(self, states: Iterable) -> frozenset:
-        return self.automaton.coreachable_states(frozenset(states))
+        compact = self._compact
+        return compact.states_for(compact.coreachable_to(compact.mask_for(states)))
 
     def _compute_state_sets(self) -> None:
         segments = self.kernel.segments
@@ -125,20 +154,57 @@ class PerfectAutomaton:
             return self._endpoint_cache[gap]
         starts = self._forward[gap - 1]
         ends = self._backward[gap]
-        reachable_from = {state: self.automaton.reachable_states({state}) for state in starts}
+        compact = self._compact
+        reach = compact.reach
+        state_objects = compact.states  # already sorted by repr
+        # Bit order == repr order, so iterating masks reproduces the legacy
+        # sorted(starts) × sorted(ends) pair ordering without any repr calls.
+        ends_mask = compact.mask_for(ends)
+        ordered_ends = [(state_objects[index], index) for index in iter_bits(ends_mask)]
         pairs = []
-        for start in sorted(starts, key=repr):
-            for end in sorted(ends, key=repr):
-                if end in reachable_from[start]:
+        for start_index in iter_bits(compact.mask_for(starts)):
+            start_reach = reach[start_index]
+            if not start_reach & ends_mask:
+                continue
+            start = state_objects[start_index]
+            for end, end_index in ordered_ends:
+                if (start_reach >> end_index) & 1:
                     pairs.append((start, end))
         self._endpoint_cache[gap] = pairs
         return pairs
+
+    def _fragment(self, start, end) -> NFA:
+        """The trimmed local automaton ``A(start, end)``.
+
+        Language- and state-identical to ``self.automaton.fragment(start,
+        end)``, but the useful-state set comes from the compact view's
+        precomputed reachability bitsets instead of two fresh traversals.
+        """
+        compact = self._compact
+        index_of = compact.state_index
+        useful = compact.states_for(
+            compact.reach[index_of[start]] & compact.coreach[index_of[end]]
+        )
+        keep = useful | {start}
+        transitions: dict = {}
+        for src in useful:
+            row = self.automaton.transitions.get(src)
+            if not row:
+                continue
+            out: dict = {}
+            for label, dsts in row.items():
+                filtered = dsts & useful
+                if filtered:
+                    out[label] = filtered
+            if out:
+                transitions[src] = out
+        return NFA(keep, self.automaton.alphabet, transitions, start, frozenset({end}) & keep)
 
     def local_automata(self, gap: int) -> list[NFA]:
         """``Aut(Ω_gap)``: the legal local automata ``A(p, q)`` of the gap."""
         if gap not in self._fragment_cache:
             self._fragment_cache[gap] = [
-                self.automaton.fragment(start, end) for start, end in self.fragment_endpoints(gap)
+                self._fragment(start, end) for start, end in self.fragment_endpoints(gap)
             ]
         return self._fragment_cache[gap]
 
@@ -163,18 +229,35 @@ class PerfectAutomaton:
 
         Built as a layered product of the segment automata with ``A``,
         linked through the legal gap fragments; its language satisfies
-        ``[Ω] ⊆ [A]`` (Lemma 6.1).
+        ``[Ω] ⊆ [A]`` (Lemma 6.1).  The result is memoized through the
+        engine under the working automaton's fingerprint and the kernel, so
+        re-deriving Ω for the same design (fresh :class:`PerfectAutomaton`
+        instances included) is a cache lookup.
         """
-        segments = [segment.to_nfa() for segment in self.kernel.segments]
+        engine = get_default_engine()
+        key = (
+            engine.fingerprint(self.automaton),
+            self.kernel.segments,
+            self.kernel.functions,
+        )
+        return engine.memo("omega-nfa", key, self._omega_nfa_uncached)
+
+    def _omega_nfa_uncached(self) -> NFA:
+        """The Ω construction itself (one layered product pass)."""
+        segments = self._segment_nfas()
         automaton = self.automaton
-        states: set = set()
         transitions: dict = {}
         finals: set = set()
 
         def add(src, label, dst) -> None:
-            transitions.setdefault(src, {}).setdefault(label, set()).add(dst)
-            states.add(src)
-            states.add(dst)
+            row = transitions.get(src)
+            if row is None:
+                row = transitions[src] = {}
+            bucket = row.get(label)
+            if bucket is None:
+                row[label] = {dst}
+            else:
+                bucket.add(dst)
 
         def segment_layer(index: int, entry_states: Iterable) -> set:
             """Product of segment ``index`` with ``A``; returns its completed states."""
@@ -184,12 +267,20 @@ class PerfectAutomaton:
             completed = set()
             while queue:
                 tag, idx, seg_state, a_state = current = queue.pop()
-                states.add(current)
                 if seg_state in seg.finals:
                     completed.add(current)
-                for symbol in seg.alphabet:
-                    for seg_next in seg.successors(seg_state, symbol):
-                        for a_next in automaton.successors(a_state, symbol):
+                seg_row = seg.transitions.get(seg_state)
+                if not seg_row:
+                    continue
+                a_row = automaton.transitions.get(a_state)
+                if not a_row:
+                    continue
+                for symbol, seg_targets in seg_row.items():
+                    a_targets = a_row.get(symbol)
+                    if not a_targets:
+                        continue
+                    for seg_next in seg_targets:
+                        for a_next in a_targets:
                             nxt = ("seg", idx, seg_next, a_next)
                             add(current, symbol, nxt)
                             if nxt not in seen:
@@ -211,10 +302,16 @@ class PerfectAutomaton:
                     add(state, EPSILON, ("gap", gap, a_state))
             # traverse A inside the gap
             for a_state in allowed:
-                for symbol in self.alphabet:
-                    for a_next in automaton.successors(a_state, symbol):
+                row = automaton.transitions.get(a_state)
+                if not row:
+                    continue
+                gap_src = ("gap", gap, a_state)
+                for symbol, targets in row.items():
+                    if symbol == EPSILON:
+                        continue
+                    for a_next in targets:
                         if a_next in allowed:
-                            add(("gap", gap, a_state), symbol, ("gap", gap, a_next))
+                            add(gap_src, symbol, ("gap", gap, a_next))
             # leave the gap into the next segment layer
             completed = segment_layer(gap, gap_ends)
             seg = segments[gap]
@@ -224,8 +321,50 @@ class PerfectAutomaton:
             if state[3] in self.automaton.finals:
                 finals.add(state)
         initial = ("seg", 0, segments[0].initial, automaton.initial)
-        states.add(initial)
-        return NFA(states, self.alphabet, transitions, initial, finals).trim()
+        # Trim on the raw dictionaries before freezing anything: one pass of
+        # forward/backward reachability, then a single NFA construction
+        # (identical to ``NFA(...).trim()`` without the intermediate
+        # automaton object).
+        reachable = {initial}
+        stack = [initial]
+        while stack:
+            src = stack.pop()
+            for dsts in transitions.get(src, {}).values():
+                for dst in dsts:
+                    if dst not in reachable:
+                        reachable.add(dst)
+                        stack.append(dst)
+        predecessors: dict = {}
+        for src, row in transitions.items():
+            for dsts in row.values():
+                for dst in dsts:
+                    bucket = predecessors.get(dst)
+                    if bucket is None:
+                        predecessors[dst] = [src]
+                    else:
+                        bucket.append(src)
+        coreachable = set(finals)
+        stack = list(finals)
+        while stack:
+            dst = stack.pop()
+            for src in predecessors.get(dst, ()):
+                if src not in coreachable:
+                    coreachable.add(src)
+                    stack.append(src)
+        useful = reachable & coreachable
+        keep = useful | {initial}
+        trimmed: dict = {}
+        for src, row in transitions.items():
+            if src not in useful:
+                continue
+            out = {}
+            for label, dsts in row.items():
+                filtered = dsts & useful
+                if filtered:
+                    out[label] = filtered
+            if out:
+                trimmed[src] = out
+        return NFA(keep, self.alphabet, trimmed, initial, finals & useful)
 
     # ------------------------------------------------------------------ #
     # the decomposition Dec(Ωi) (Section 6.1, Figure 8)

@@ -39,12 +39,13 @@ class Box:
     zero) denotes the language ``{ε}``.
     """
 
-    __slots__ = ("sets",)
+    __slots__ = ("sets", "_nfa_cache")
 
     def __init__(self, sets: Sequence[Iterable[str]]) -> None:
         self.sets: tuple[frozenset[str], ...] = tuple(frozenset(part) for part in sets)
         if any(not part for part in self.sets):
             raise KernelError("a box must not contain an empty set of symbols")
+        self._nfa_cache: Optional[NFA] = None
 
     @classmethod
     def from_word(cls, word: str | Sequence[str]) -> "Box":
@@ -83,13 +84,15 @@ class Box:
             yield tuple(combination)
 
     def to_nfa(self) -> NFA:
-        """The (acyclic, epsilon-free) automaton of the box."""
-        states = set(range(self.width + 1))
-        transitions: dict[int, dict[str, set[int]]] = {}
-        for index, part in enumerate(self.sets):
-            for symbol in part:
-                transitions.setdefault(index, {}).setdefault(symbol, set()).add(index + 1)
-        return NFA(states, self.alphabet, transitions, 0, {self.width})
+        """The (acyclic, epsilon-free) automaton of the box (built once)."""
+        if self._nfa_cache is None:
+            states = set(range(self.width + 1))
+            transitions: dict[int, dict[str, set[int]]] = {}
+            for index, part in enumerate(self.sets):
+                for symbol in part:
+                    transitions.setdefault(index, {}).setdefault(symbol, set()).add(index + 1)
+            self._nfa_cache = NFA(states, self.alphabet, transitions, 0, {self.width})
+        return self._nfa_cache
 
     # -- reachability through the target automaton ----------------------- #
 

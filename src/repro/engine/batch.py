@@ -4,10 +4,12 @@ The seed's ``schema.validate(tree)`` rebuilt the unranked tree automaton
 *and* re-ran every horizontal automaton with epsilon closures on every call
 -- per document, per peer, per benchmark round.  :class:`CompiledSchema`
 performs that work once: the tree automaton is built a single time, its
-horizontal NFAs are epsilon-freed through the
+horizontal NFAs are lifted to the integer/bitset kernel through the
 :class:`~repro.engine.compilation.CompilationEngine` (so peers whose local
-types share content models share the compiled automata too), and membership
-runs on a grouped-by-label rule table without closure recomputation.
+types share content models share the compiled automata too), and the
+bottom-up run loop works entirely on bitmasks -- a node's set of assignable
+states is one ``int``, and each horizontal step is an OR over per-symbol
+successor arrays, with no epsilon closures and no set objects.
 
 :class:`BatchValidator` is the user-facing wrapper: it validates one
 document, a batch of documents in a single pass, or produces a
@@ -20,7 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.automata.nfa import NFA
+from repro.automata.kernel.compact import CompactNFA, iter_bits
 from repro.trees.automata import UnrankedTreeAutomaton
 from repro.trees.document import Tree
 
@@ -44,6 +46,7 @@ class CompiledSchema:
 
     def __init__(self, schema, engine=None) -> None:
         from repro.engine.compilation import SCHEMA_TO_UTA_KIND, get_default_engine
+        from repro.engine.fingerprint import alphabet_key
 
         self.engine = engine if engine is not None else get_default_engine()
         self.schema = schema
@@ -55,13 +58,31 @@ class CompiledSchema:
             uta = self.engine.memo_identity(SCHEMA_TO_UTA_KIND, schema, schema.to_uta)
         self.uta = uta
         self.finals = uta.finals
+        # One interning for the whole schema: the vertical states double as
+        # the symbols every horizontal automaton reads, so a node's set of
+        # assignable states *is* the child-symbol bitmask of its parent.
+        self._state_order: tuple = tuple(sorted(uta.states, key=repr))
+        self._state_bit = {state: 1 << i for i, state in enumerate(self._state_order)}
+        self._finals_mask = 0
+        for state in uta.finals:
+            self._finals_mask |= self._state_bit[state]
+        shared_alphabet = alphabet_key(map(repr, self._state_order))
         # Rules grouped by label: at a node labelled `l` only the (state, l)
         # horizontal automata can fire, so the bottom-up pass never scans the
-        # full state set the way the seed's UTA membership did.
-        self._rules_by_label: dict[str, list[tuple[object, NFA]]] = {}
+        # full state set the way the seed's UTA membership did.  Each rule's
+        # horizontal NFA is lifted to the kernel once, memoized by content
+        # fingerprint, so peers whose local types share content models share
+        # the compiled automata too.
+        self._rules_by_label: dict[str, list[tuple[int, CompactNFA]]] = {}
         for (state, label), nfa in uta.horizontal.items():
-            compiled = self.engine.epsilon_free(nfa)
-            self._rules_by_label.setdefault(label, []).append((state, compiled))
+            compiled = self.engine.memo(
+                "compact-horizontal",
+                (self.engine.fingerprint(nfa), shared_alphabet),
+                lambda nfa=nfa: CompactNFA(nfa, self._state_order),
+            )
+            self._rules_by_label.setdefault(label, []).append(
+                (self._state_bit[state], compiled)
+            )
         self._document_memo: OrderedDict[int, tuple[Tree, frozenset]] = OrderedDict()
 
     # ------------------------------------------------------------------ #
@@ -69,34 +90,51 @@ class CompiledSchema:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _horizontal_accepts(nfa: NFA, child_sets: Sequence[frozenset]) -> bool:
-        """Does the ε-free ``nfa`` accept some word drawn from ``child_sets``?"""
-        current = {nfa.initial}
-        for child_set in child_sets:
-            moved: set = set()
-            for state in current:
-                row = nfa.transitions.get(state)
-                if not row:
-                    continue
-                for symbol in child_set:
-                    targets = row.get(symbol)
-                    if targets:
-                        moved |= targets
+    def _horizontal_accepts(compiled: CompactNFA, child_masks: Sequence[int]) -> bool:
+        """Does ``compiled`` accept some word drawn from the child bitmasks?
+
+        Runs the ε-free (pre-closure convention) simulation entirely on
+        integers: the current state set and every child's symbol set are
+        bitmasks, one step is an OR over the per-symbol successor arrays.
+        """
+        current = 1 << compiled.initial
+        delta = compiled.delta
+        for child_mask in child_masks:
+            moved = 0
+            symbols_left = child_mask
+            while symbols_left:
+                low = symbols_left & -symbols_left
+                row = delta[low.bit_length() - 1]
+                states_left = current
+                while states_left:
+                    state_low = states_left & -states_left
+                    moved |= row[state_low.bit_length() - 1]
+                    states_left ^= state_low
+                symbols_left ^= low
             if not moved:
                 return False
             current = moved
-        return bool(current & nfa.finals)
+        return bool(current & compiled.finals_closed)
 
-    def _possible_states(self, tree: Tree) -> frozenset:
-        child_sets = [self._possible_states(child) for child in tree.children]
-        if any(not child_set for child_set in child_sets):
-            return frozenset()
+    def _possible_mask(self, tree: Tree) -> int:
+        child_masks = []
+        for child in tree.children:
+            mask = self._possible_mask(child)
+            if not mask:
+                return 0
+            child_masks.append(mask)
         rules = self._rules_by_label.get(tree.label)
         if not rules:
-            return frozenset()
-        return frozenset(
-            state for state, nfa in rules if self._horizontal_accepts(nfa, child_sets)
-        )
+            return 0
+        result = 0
+        for state_bit, compiled in rules:
+            if self._horizontal_accepts(compiled, child_masks):
+                result |= state_bit
+        return result
+
+    def _possible_states(self, tree: Tree) -> frozenset:
+        order = self._state_order
+        return frozenset(order[index] for index in iter_bits(self._possible_mask(tree)))
 
     def possible_states(self, tree: Tree) -> frozenset:
         """The states assignable to the root of ``tree``, memoized per document.

@@ -31,6 +31,7 @@ from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.automata.dfa import DFA
 from repro.automata.equivalence import counterexample_inclusion_uncached
+from repro.automata.kernel.inclusion import nfa_included, product_is_empty
 from repro.automata.nfa import NFA, Symbol, Word
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.fingerprint import (
@@ -200,27 +201,55 @@ class CompilationEngine:
     def _pair_key(self, left: NFA, right: NFA, symbols: frozenset[Symbol]) -> tuple[str, str, str]:
         return (self.fingerprint(left), self.fingerprint(right), alphabet_key(symbols))
 
+    def inclusion_verdict(
+        self, left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None
+    ) -> bool:
+        """Decide ``[left] ⊆ [right]`` (cached antichain verdict, no witness).
+
+        This is the boolean fast path: the kernel's antichain search never
+        determinises the left side or materialises a complement automaton.
+        Callers that need the witness word go through
+        :meth:`inclusion_counterexample`, which keeps the legacy
+        breadth-first product search as its (tie-breaking) oracle.
+        """
+        if self.fingerprint(left) == self.fingerprint(right):
+            self.fingerprint_fast_path_hits += 1
+            return True
+        symbols = frozenset(alphabet) if alphabet is not None else left.alphabet | right.alphabet
+        return self.memo(
+            "inclusion-verdict",
+            self._pair_key(left, right, symbols),
+            lambda: nfa_included(left, right, symbols),
+        )
+
     def inclusion_counterexample(
         self, left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None
     ) -> Optional[Word]:
-        """A shortest word of ``[left] − [right]``, or ``None`` (cached)."""
+        """A shortest word of ``[left] − [right]``, or ``None`` (cached).
+
+        The cached antichain verdict answers the included case without any
+        product search; only a *failed* inclusion pays for the legacy
+        breadth-first search that extracts the shortest witness.
+        """
         symbols = frozenset(alphabet) if alphabet is not None else left.alphabet | right.alphabet
-        return self.memo(
-            "inclusion",
-            self._pair_key(left, right, symbols),
-            lambda: counterexample_inclusion_uncached(left, right, symbols),
-        )
+
+        def compute() -> Optional[Word]:
+            if self.inclusion_verdict(left, right, symbols):
+                return None
+            return counterexample_inclusion_uncached(left, right, symbols)
+
+        return self.memo("inclusion", self._pair_key(left, right, symbols), compute)
 
     def includes(self, big: NFA, small: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
-        """Decide ``[small] ⊆ [big]`` through the cached counter-example."""
-        return self.inclusion_counterexample(small, big, alphabet) is None
+        """Decide ``[small] ⊆ [big]`` through the cached antichain verdict."""
+        return self.inclusion_verdict(small, big, alphabet)
 
     def equivalent(self, left: NFA, right: NFA, alphabet: Iterable[Symbol] | None = None) -> bool:
         """Decide ``[left] = [right]`` with a fingerprint fast-path.
 
         Structurally identical automata (equal fingerprints) are equivalent
-        without any product exploration; otherwise both cached inclusions are
-        consulted.
+        without any product exploration; otherwise both cached inclusion
+        verdicts are consulted.
         """
         if self.fingerprint(left) == self.fingerprint(right):
             self.fingerprint_fast_path_hits += 1
@@ -228,12 +257,10 @@ class CompilationEngine:
         return self.includes(right, left, alphabet) and self.includes(left, right, alphabet)
 
     def disjoint(self, left: NFA, right: NFA) -> bool:
-        """Decide ``[left] ∩ [right] = ∅`` (cached product emptiness)."""
-        from repro.automata.operations import intersection
-
+        """Decide ``[left] ∩ [right] = ∅`` (cached on-the-fly product emptiness)."""
         key = tuple(sorted((self.fingerprint(left), self.fingerprint(right))))
         return self.memo(
-            "disjoint", key, lambda: intersection(left, right).is_empty_language()
+            "disjoint", key, lambda: product_is_empty(left, right)
         )
 
     # ------------------------------------------------------------------ #

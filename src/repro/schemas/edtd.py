@@ -168,11 +168,13 @@ class EDTD:
                     continue
                 model = self.content(name)
                 allowed = ops.sigma_star(bound)
-                product = ops.intersection(
+                # The fixpoint only needs non-emptiness of the product with
+                # ``bound*``; the kernel decides that on the fly without
+                # materialising the product automaton.
+                if ops.intersects(
                     model.nfa.with_alphabet(self.specialized_names),
                     allowed.with_alphabet(self.specialized_names),
-                )
-                if not product.is_empty_language():
+                ):
                     bound.add(name)
                     changed = True
         return frozenset(bound)
