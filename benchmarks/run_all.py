@@ -116,6 +116,30 @@ def _scenario_fig7_build(k: int, functions: int):
     return run, sizes
 
 
+def _scenario_distributed_workload(strategy: str, peers: int, documents: int):
+    """One full workload replay through the distributed runtime's driver.
+
+    ``serial`` parses and revalidates every publication; ``runtime`` is the
+    sharded thread-pool runtime with content-addressed incremental ingest.
+    The recorded ratio between the two is the headline of PR 3 (the
+    ``speedup_vs_serial`` key is derived in :func:`main`).
+    """
+    from repro.distributed.runtime import WorkloadDriver
+    from repro.workloads import synthetic
+
+    workload = synthetic.distributed_workload(
+        peers=peers, documents=documents, seed=0, invalid_rate=0.05
+    )
+    driver = WorkloadDriver(workload, max_workers=4)
+    sizes = {"peers": peers, "documents": documents, "workers": 4}
+
+    def run():
+        report = driver.run((strategy,))
+        assert report.outcome(strategy).rounds == documents - peers + 1
+
+    return run, sizes
+
+
 def _scenarios(smoke: bool):
     cons_sizes = (2, 8) if smoke else (2, 4, 8)
     for language in ("EDTD", "SDTD", "DTD"):
@@ -128,6 +152,17 @@ def _scenarios(smoke: bool):
     fig7_cases = ((8, 3),) if smoke else ((2, 1), (4, 2), (8, 3))
     for k, functions in fig7_cases:
         yield f"fig7_perfect_automaton_{k}_{functions}", _scenario_fig7_build(k, functions)
+    documents = 24 if smoke else 40
+    for strategy in ("serial", "runtime"):
+        yield (
+            f"distributed_workload_{strategy}_8",
+            _scenario_distributed_workload(strategy, 8, documents),
+        )
+    if not smoke:
+        yield (
+            "distributed_workload_runtime_100",
+            _scenario_distributed_workload("runtime", 100, 200),
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -183,6 +218,12 @@ def check_regressions(current: dict, baseline_path: Path, max_regression: float)
     """
     baseline = json.loads(baseline_path.read_text())
     baseline_results = baseline.get("results", {})
+    # Bound on how much the median ratio may normalize away.  Without it, a
+    # change that slows *most* scenarios uniformly (e.g. a pessimization in
+    # the shared kernel) would shift the median itself and pass unnoticed;
+    # clamping means any across-the-board slowdown beyond this factor still
+    # shows up as per-scenario regressions.
+    max_machine_factor = 3.0
     ratios = {}
     for name, entry in current.items():
         reference = baseline_results.get(name)
@@ -197,7 +238,8 @@ def check_regressions(current: dict, baseline_path: Path, max_regression: float)
         print("no scenarios in common with the baseline; nothing to check")
         return 0
     machine_factor = statistics.median(ratio for ratio, _ref, _cur in ratios.values())
-    print(f"machine factor (median ratio vs baseline): {machine_factor:.2f}x")
+    machine_factor = min(max(machine_factor, 1.0 / max_machine_factor), max_machine_factor)
+    print(f"machine factor (median ratio vs baseline, clamped to {max_machine_factor}x): {machine_factor:.2f}x")
     failures = []
     for name, (ratio, reference_ms, current_ms) in sorted(ratios.items()):
         normalized = ratio / max(machine_factor, 1e-6)
@@ -230,6 +272,12 @@ def main(argv=None) -> int:
 
     rounds = args.rounds if args.rounds is not None else (5 if args.smoke else 20)
     results = run_benchmarks(args.smoke, rounds)
+    serial = results.get("distributed_workload_serial_8")
+    runtime = results.get("distributed_workload_runtime_8")
+    if serial and runtime:
+        speedup = round(serial["mean_ms"] / max(runtime["mean_ms"], 1e-6), 2)
+        runtime["speedup_vs_serial"] = speedup
+        print(f"\ndistributed runtime speedup vs serial (8 peers): {speedup}x")
     payload = {
         "git_sha": _git_sha(),
         "smoke": args.smoke,

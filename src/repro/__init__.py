@@ -33,9 +33,12 @@ _API_EXPORTS = (
     "edtd",
     "get_default_engine",
     "kernel",
+    "run_distributed_workload",
     "top_down_design",
     "tree",
     "use_engine",
+    "ValidationRuntime",
+    "WorkloadReport",
 )
 
 __all__ = list(_API_EXPORTS) + ["__version__"]

@@ -28,7 +28,7 @@ The paper uses this machinery for ``cons[dRE-DTD]`` / ``cons[dRE-SDTD]``
 from __future__ import annotations
 
 from collections.abc import Iterable
-from typing import Optional, Union
+from typing import Union
 
 from repro.automata.dfa import DFA, minimal_dfa
 from repro.automata.nfa import NFA, Symbol

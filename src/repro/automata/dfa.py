@@ -16,7 +16,7 @@ from collections import deque
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Any, Optional
 
-from repro.automata.nfa import EPSILON, NFA, Symbol, Word, as_word
+from repro.automata.nfa import EPSILON, NFA, Symbol, as_word
 
 State = Any
 

@@ -24,7 +24,6 @@ from collections import deque
 from collections.abc import Iterable
 from typing import Optional
 
-from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA, Symbol, Word
 
 

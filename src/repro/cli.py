@@ -9,7 +9,11 @@ designer's tool:
 * ``repro-design bottomup --kernel "s(f1 f2)" --type f1=t1.dtd --type f2=t2.dtd`` —
   decide ``cons[S]`` for every schema language and print ``typeT(τn)``;
 * ``repro-design validate --schema schema.dtd --document doc.xml`` —
-  plain validation of an XML document.
+  plain validation of an XML document;
+* ``repro-design distributed --peers 8 --documents 64 --workers 4`` —
+  replay a synthetic distributed-validation workload through the serial,
+  sharded-runtime and (optionally) centralized strategies and compare
+  wall-clock, throughput, messages and bytes shipped.
 
 Schema files may use either the W3C ``<!ELEMENT ...>`` syntax or the paper's
 arrow notation (``name -> content``); see :mod:`repro.schemas.dtd_text`.
@@ -90,6 +94,37 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--document", required=True, help="path to the document (XML or term notation)")
     _add_stats_argument(validate)
 
+    distributed = subparsers.add_parser(
+        "distributed",
+        help="replay a synthetic distributed-validation workload through the runtime",
+    )
+    distributed.add_argument("--peers", type=int, default=8, help="number of resource peers")
+    distributed.add_argument(
+        "--documents", type=int, default=64, help="total publications (initial seeds + edits)"
+    )
+    distributed.add_argument("--workers", type=int, default=4, help="thread-pool size")
+    distributed.add_argument("--shards", type=int, default=None, help="shard count (default: workers)")
+    distributed.add_argument("--seed", type=int, default=0, help="workload random seed")
+    distributed.add_argument(
+        "--invalid-rate", type=float, default=0.05, help="probability of a corrupt publication"
+    )
+    distributed.add_argument(
+        "--records", type=int, default=12, help="records per document (document size knob)"
+    )
+    distributed.add_argument(
+        "--fields", type=int, default=6, help="fields per record (document size knob)"
+    )
+    distributed.add_argument(
+        "--serial-only",
+        action="store_true",
+        help="replay only the serial baseline (no runtime strategy)",
+    )
+    distributed.add_argument(
+        "--centralized",
+        action="store_true",
+        help="also replay the centralized ship-everything strategy",
+    )
+
     return parser
 
 
@@ -135,11 +170,42 @@ def _run_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _run_distributed(args: argparse.Namespace) -> int:
+    from repro.api import run_distributed_workload
+
+    strategies = ["serial"]
+    if not args.serial_only:
+        strategies.append("runtime")
+    if args.centralized:
+        strategies.append("centralized")
+    report = run_distributed_workload(
+        peers=args.peers,
+        documents=args.documents,
+        workers=args.workers,
+        shards=args.shards,
+        seed=args.seed,
+        invalid_rate=args.invalid_rate,
+        records=args.records,
+        fields=args.fields,
+        strategies=tuple(strategies),
+    )
+    print(report.summary())
+    if not report.verdicts_agree:
+        print("error: the strategies disagree on at least one round", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-design`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"topdown": _run_topdown, "bottomup": _run_bottomup, "validate": _run_validate}
+    handlers = {
+        "topdown": _run_topdown,
+        "bottomup": _run_bottomup,
+        "validate": _run_validate,
+        "distributed": _run_distributed,
+    }
     # Each invocation runs on a fresh engine so that --stats reports the hit
     # rates of this run alone, not of the whole process.
     engine = CompilationEngine()

@@ -34,7 +34,7 @@ from repro.automata import operations as ops
 from repro.automata.nfa import NFA
 from repro.engine.compilation import get_default_engine
 from repro.schemas.closures import dtd_closure, single_type_closure
-from repro.schemas.compare import schema_includes, schema_inclusion_counterexample
+from repro.schemas.compare import schema_inclusion_counterexample
 from repro.schemas.content_model import ContentModel, Formalism
 from repro.schemas.dtd import DTD
 from repro.schemas.edtd import EDTD

@@ -16,7 +16,7 @@ Given a design ``D = <τ, T>`` and a typing ``(τn)``:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.errors import DesignError
 from repro.automata.nfa import NFA

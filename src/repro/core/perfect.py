@@ -26,13 +26,13 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional, Sequence
 
-from repro.errors import NotCompatibleError, SearchBudgetExceeded
+from repro.errors import SearchBudgetExceeded
 from repro.automata import operations as ops
-from repro.automata.equivalence import disjoint, equivalent, includes, proper_subset
+from repro.automata.equivalence import disjoint, equivalent, includes
 from repro.automata.kernel.compact import CompactNFA, iter_bits
 from repro.automata.nfa import EPSILON, NFA
 from repro.automata.regex import ensure_nfa
-from repro.core.words import Box, KernelString, WordTyping, word_is_local, word_is_sound
+from repro.core.words import KernelString, WordTyping, word_is_local, word_is_sound
 from repro.engine.compilation import get_default_engine
 
 

@@ -28,7 +28,6 @@ from repro.schemas.dtd import DTD
 from repro.schemas.edtd import EDTD, NormalizedEDTD, normalize
 from repro.schemas.sdtd import SDTD
 from repro.core.design import TopDownDesign
-from repro.core.kernel import KernelTree
 from repro.core.words import Box, KernelString
 from repro.trees.document import Path
 

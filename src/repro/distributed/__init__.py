@@ -13,6 +13,13 @@ validity without shipping any data).
 
 from repro.distributed.peer import Message, Peer, ResourcePeer
 from repro.distributed.network import DistributedDocument, Network, ValidationReport
+from repro.distributed.runtime import (
+    RuntimeReport,
+    RuntimeStats,
+    ValidationRuntime,
+    WorkloadDriver,
+    WorkloadReport,
+)
 
 __all__ = [
     "Message",
@@ -21,4 +28,9 @@ __all__ = [
     "Network",
     "DistributedDocument",
     "ValidationReport",
+    "RuntimeReport",
+    "RuntimeStats",
+    "ValidationRuntime",
+    "WorkloadDriver",
+    "WorkloadReport",
 ]

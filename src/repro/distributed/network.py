@@ -22,6 +22,7 @@ exchanged by the two strategies.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
 
@@ -39,30 +40,70 @@ CONTROL_MESSAGE_BYTES = 64
 
 @dataclass
 class Network:
-    """The message log shared by all peers of a simulation."""
+    """The message log shared by all peers of a simulation.
+
+    The log may be appended to from pool workers of the distributed runtime,
+    so every mutation is serialised by a lock; reads of the accounting
+    properties take the same lock so a count never observes a half-appended
+    batch.
+    """
 
     peers: dict[str, Peer] = field(default_factory=dict)
     log: list[Message] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _bytes_total: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Running totals keep the accounting O(1) per read (the workload
+        # driver reads them every round); seeded from any pre-filled log.
+        self._bytes_total = sum(message.payload_bytes for message in self.log)
 
     def register(self, peer: Peer) -> Peer:
         self.peers[peer.name] = peer
         return peer
 
     def send(self, sender: str, recipient: str, kind: str, payload_bytes: int, description: str = "") -> None:
-        self.log.append(Message(sender, recipient, kind, payload_bytes, description))
+        with self._lock:
+            self.log.append(Message(sender, recipient, kind, payload_bytes, description))
+            self._bytes_total += payload_bytes
+
+    def send_control(
+        self, sender: str, recipient: str, kind: str, description: str = "", extra_bytes: int = 0
+    ) -> None:
+        """Record a control message (request / acknowledgement / type push).
+
+        All control traffic is accounted here so :data:`CONTROL_MESSAGE_BYTES`
+        cannot drift between call sites; ``extra_bytes`` covers control
+        messages that carry a payload on top of the fixed envelope (a
+        propagated local type, for instance).
+        """
+        self.send(sender, recipient, kind, CONTROL_MESSAGE_BYTES + extra_bytes, description)
+
+    def send_document(self, sender: str, recipient: str, kind: str, document, description: str = "") -> None:
+        """Record a data message shipping a whole document (its XML bytes)."""
+        self.send(sender, recipient, kind, document_bytes(document), description)
 
     # -- accounting ------------------------------------------------------ #
 
     @property
     def message_count(self) -> int:
-        return len(self.log)
+        with self._lock:
+            return len(self.log)
 
     @property
     def bytes_shipped(self) -> int:
-        return sum(message.payload_bytes for message in self.log)
+        with self._lock:
+            return self._bytes_total
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(message_count, bytes_shipped)`` read atomically (one lock hold)."""
+        with self._lock:
+            return len(self.log), self._bytes_total
 
     def reset(self) -> None:
-        self.log.clear()
+        with self._lock:
+            self.log.clear()
+            self._bytes_total = 0
 
 
 @dataclass(frozen=True)
@@ -124,12 +165,12 @@ class DistributedDocument:
             peer.assign_type(
                 typing[function], BatchValidator(typing[function], engine=self.engine)
             )
-            self.network.send(
+            self.network.send_control(
                 self.coordinator.name,
                 peer.name,
                 "propagate-type",
-                CONTROL_MESSAGE_BYTES + typing[function].size,
                 f"local type for {function}",
+                extra_bytes=typing[function].size,
             )
 
     def update_resource(self, function: str, document: Tree) -> None:
@@ -144,16 +185,15 @@ class DistributedDocument:
         """Activate every docking point and build the extension ``extT(t1..tn)``."""
         assignment: dict[str, Tree] = {}
         for function, peer in self.resources.items():
-            self.network.send(self.coordinator.name, peer.name, "call", CONTROL_MESSAGE_BYTES, function)
+            self.network.send_control(self.coordinator.name, peer.name, "call", function)
             document = peer.answer()
-            self.network.send(peer.name, self.coordinator.name, "result", document_bytes(document), function)
+            self.network.send_document(peer.name, self.coordinator.name, "result", document, function)
             assignment[function] = document
         return self.kernel.extension(assignment)
 
     def validate_centralized(self, global_type: SchemaType) -> ValidationReport:
         """Ship everything to the coordinator and validate against the global type."""
-        before_messages = self.network.message_count
-        before_bytes = self.network.bytes_shipped
+        before_messages, before_bytes = self.network.snapshot()
         extension = self.materialize()
         valid = global_type.validate(extension)
         return ValidationReport(
@@ -172,15 +212,14 @@ class DistributedDocument:
         imply global validity; a *local* typing additionally rules no valid
         configuration out (Section 2.4).
         """
-        before_messages = self.network.message_count
-        before_bytes = self.network.bytes_shipped
+        before_messages, before_bytes = self.network.snapshot()
         if typing is not None:
             self.propagate_typing(typing)
         valid = True
         for function, peer in self.resources.items():
-            self.network.send(self.coordinator.name, peer.name, "validate-request", CONTROL_MESSAGE_BYTES, function)
+            self.network.send_control(self.coordinator.name, peer.name, "validate-request", function)
             ok = peer.validate_locally()
-            self.network.send(peer.name, self.coordinator.name, "validate-result", CONTROL_MESSAGE_BYTES, str(ok))
+            self.network.send_control(peer.name, self.coordinator.name, "validate-result", str(ok))
             valid = valid and ok
         guarantee = (
             "sound & complete: local success is equivalent to global validity"

@@ -1,0 +1,443 @@
+"""The sharded, concurrent validation runtime.
+
+:class:`ValidationRuntime` layers three things on top of the serial
+:class:`~repro.distributed.network.DistributedDocument` simulation:
+
+* **Parallel local validation** -- peers are partitioned into shards
+  (:mod:`~repro.distributed.runtime.sharding`) and validated concurrently
+  by a thread-pool scheduler with one compilation engine per shard
+  (:mod:`~repro.distributed.runtime.scheduler`).  Compiled schemas are
+  shared read-only, so per-peer document runs are embarrassingly parallel.
+* **Incremental revalidation** -- every validated document is
+  content-addressed with :func:`~repro.engine.fingerprint.tree_fingerprint`.
+  A peer is *dirty* only when its current content differs from the content
+  its cached acknowledgement was computed for; clean peers are skipped
+  entirely (no validation run, no control messages) and the global verdict
+  is re-derived from the cached per-peer acks.  In particular a peer that
+  re-publishes equal content as a fresh object -- the normal case after a
+  round-trip through serialisation -- stays clean, which the per-object
+  identity memo of :class:`~repro.engine.batch.CompiledSchema` cannot see.
+* **Wire-level ingest** -- :meth:`ValidationRuntime.publish` accepts a
+  publication as serialised XML and content-addresses the *bytes*
+  (:func:`~repro.engine.fingerprint.payload_fingerprint`) before any
+  parsing.  Hashing runs at native speed, so a byte-identical
+  re-publication costs one digest and nothing else; only changed payloads
+  are parsed (inside the shard task, off the coordinator) and revalidated.
+* **Cost/statistics accounting** -- a :class:`RuntimeReport` extends the
+  serial :class:`~repro.distributed.network.ValidationReport` with how many
+  peers actually revalidated, and :class:`RuntimeStats` accumulates the
+  totals across rounds (what the workload driver and the benchmarks read).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.typing import TreeTyping
+from repro.distributed.network import DistributedDocument, ValidationReport
+from repro.distributed.runtime.scheduler import ShardScheduler
+from repro.distributed.runtime.sharding import ShardMap
+from repro.engine.batch import BatchValidator
+from repro.engine.compilation import CompilationEngine
+from repro.engine.fingerprint import payload_fingerprint, tree_fingerprint
+from repro.errors import DesignError
+from repro.trees.xml_io import tree_from_xml
+
+#: Fingerprint recorded for a peer with no document (validation returns False).
+_NO_DOCUMENT = "<no-document>"
+
+
+def resolve_pool(peer_count: int, max_workers: Optional[int], shards: Optional[int]) -> tuple[int, int]:
+    """The ``(workers, shard_count)`` a runtime resolves its defaults to.
+
+    Shared with :class:`~repro.distributed.runtime.driver.WorkloadDriver`
+    so reported shard counts can never drift from the runtime's own.
+    """
+    workers = max(1, max_workers if max_workers is not None else min(8, peer_count))
+    shard_count = max(1, shards if shards is not None else min(peer_count, workers))
+    return workers, shard_count
+
+
+@dataclass
+class RuntimeStats:
+    """Totals accumulated by one runtime across validation rounds."""
+
+    rounds: int = 0
+    validations_run: int = 0
+    validations_skipped: int = 0
+    fingerprints_computed: int = 0
+    publications: int = 0
+    clean_publications: int = 0
+    wall_seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "validations_run": self.validations_run,
+            "validations_skipped": self.validations_skipped,
+            "fingerprints_computed": self.fingerprints_computed,
+            "publications": self.publications,
+            "clean_publications": self.clean_publications,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class RuntimeReport(ValidationReport):
+    """A :class:`ValidationReport` plus the runtime's incremental accounting."""
+
+    peers_validated: int = 0
+    peers_skipped: int = 0
+    wall_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"{base} validated={self.peers_validated} skipped={self.peers_skipped}"
+
+
+@dataclass(frozen=True)
+class _PeerOutcome:
+    """What one shard task reports back for one peer."""
+
+    function: str
+    fingerprint: str
+    ack: bool
+    validated: bool
+    fingerprinted: bool
+
+
+class ValidationRuntime:
+    """Concurrent, incremental local validation over a distributed document.
+
+    Parameters
+    ----------
+    document:
+        The :class:`DistributedDocument` whose peers this runtime drives.
+        The runtime shares the document's network (all traffic lands in one
+        ledger) but *not* its engine: each shard compiles on its own.
+    max_workers:
+        Thread-pool size (default: ``min(8, peer count)``).
+    shards:
+        Number of shards (default: ``min(peer count, max_workers)`` -- one
+        task per worker, which keeps dispatch overhead proportional to the
+        pool, not to the peer count).
+    backend:
+        ``"thread"`` (default) or ``"serial"`` (inline execution, used by
+        the differential tests).
+    """
+
+    def __init__(
+        self,
+        document: DistributedDocument,
+        max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+    ) -> None:
+        self.document = document
+        self.network = document.network
+        functions = tuple(document.resources)
+        peer_count = max(1, len(functions))
+        workers, shard_count = resolve_pool(peer_count, max_workers, shards)
+        self.shard_map = ShardMap.over(functions, shard_count)
+        self.scheduler = ShardScheduler(self.shard_map, max_workers=workers, backend=backend)
+        self.stats = RuntimeStats()
+        #: function -> fingerprint of the current (possibly unvalidated)
+        #: document; ``None`` means the content changed and has not been
+        #: fingerprinted yet (it is re-fingerprinted inside the shard task).
+        self._current_fp: dict[str, Optional[str]] = {function: None for function in functions}
+        #: function -> fingerprint the cached ack was computed for.
+        self._validated_fp: dict[str, str] = {}
+        #: function -> cached acknowledgement of the last validation.
+        self._acks: dict[str, bool] = {}
+        #: function -> (wire digest, raw payload) awaiting parse+validate.
+        self._pending_payloads: dict[str, tuple[str, str | bytes]] = {}
+        #: function -> the Tree object the current fingerprint was computed
+        #: for.  A fingerprint is only trusted while the peer still holds
+        #: that exact object, so updates applied behind the runtime's back
+        #: (``document.update_resource`` / ``peer.update_document``) are
+        #: detected and re-fingerprinted instead of reusing a stale ack.
+        self._fp_document: dict[str, object] = {}
+        #: function -> the validator object the cached ack was computed
+        #: with.  An ack is only trusted while the peer still holds that
+        #: validator, so re-propagating a typing behind the runtime's back
+        #: (``document.propagate_typing``) forces revalidation.
+        self._ack_validator: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # typing propagation (parallel compilation, one engine per shard)
+    # ------------------------------------------------------------------ #
+
+    def propagate_typing(self, typing: TreeTyping) -> None:
+        """Install a typing: compile each shard's local types in parallel.
+
+        Every cached acknowledgement is invalidated -- an ack is only
+        meaningful against the type it was computed for.
+        """
+        missing = [f for f in self.document.resources if f not in typing]
+        if missing:
+            raise DesignError(f"the typing has no component for {missing[0]!r}")
+
+        def compile_shard(shard: int, engine: CompilationEngine):
+            return [
+                (function, BatchValidator(typing[function], engine=engine))
+                for function in self.shard_map.members(shard)
+            ]
+
+        for compiled in self.scheduler.map_shards(compile_shard):
+            for function, validator in compiled:
+                peer = self.document.resources[function]
+                peer.assign_type(typing[function], validator)
+                self.network.send_control(
+                    self.document.coordinator.name,
+                    peer.name,
+                    "propagate-type",
+                    f"local type for {function}",
+                    extra_bytes=typing[function].size,
+                )
+        self._acks.clear()
+        self._validated_fp.clear()
+        self._ack_validator.clear()
+
+    # ------------------------------------------------------------------ #
+    # document updates (content-addressed dirtiness)
+    # ------------------------------------------------------------------ #
+
+    def update_document(self, function: str, document) -> None:
+        """A peer publishes a new document version.
+
+        The content is fingerprinted lazily (inside the next validation
+        round's shard task, off the coordinator); a re-publication of equal
+        content is detected there and skipped.
+        """
+        if function not in self.document.resources:
+            raise DesignError(f"no resource peer serves function {function!r}")
+        self.document.resources[function].update_document(document)
+        self._pending_payloads.pop(function, None)
+        self._current_fp[function] = None
+
+    def publish(self, function: str, payload: str | bytes) -> bool:
+        """A peer publishes its document as serialised XML (the wire format).
+
+        The payload is content-addressed *before* any parsing: when the
+        digest matches the bytes the peer's cached acknowledgement was
+        computed for, the publication is dropped on the spot -- one native
+        hash, no parse, no validation, no dispatch.  Otherwise the payload
+        is queued; the next :meth:`validate_locally` round parses it inside
+        the peer's shard task (so parsing parallelises with everything
+        else) and revalidates.  A payload that fails to parse counts as an
+        invalid publication (the peer acknowledges ``False``; its previous
+        document is kept).
+
+        Returns ``True`` when the publication was clean (dropped unparsed).
+        """
+        if function not in self.document.resources:
+            raise DesignError(f"no resource peer serves function {function!r}")
+        self.stats.publications += 1
+        fingerprint = "wire:" + payload_fingerprint(payload)
+        if (
+            function in self._acks
+            and function not in self._pending_payloads
+            and self._current_fp[function] == fingerprint
+            and self._validated_fp.get(function) == fingerprint
+            and self.document.resources[function].document is self._fp_document.get(function)
+            and self.document.resources[function].validator is self._ack_validator.get(function)
+        ):
+            self.stats.clean_publications += 1
+            return True
+        self._pending_payloads[function] = (fingerprint, payload)
+        self._current_fp[function] = None
+        return False
+
+    def dirty_peers(self) -> tuple[str, ...]:
+        """Peers whose next validation round cannot reuse a cached ack.
+
+        Peers with un-fingerprinted content are reported dirty even though
+        the fingerprint may later prove them clean -- this is the
+        conservative pre-round view.
+        """
+        return tuple(
+            function
+            for function, peer in self.document.resources.items()
+            if function not in self._acks
+            or self._current_fp[function] is None
+            or peer.document is not self._fp_document.get(function)
+            or peer.validator is not self._ack_validator.get(function)
+            or self._current_fp[function] != self._validated_fp.get(function)
+        )
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def validate_locally(
+        self,
+        typing: Optional[TreeTyping] = None,
+        typing_is_local: bool = True,
+        force: bool = False,
+    ) -> RuntimeReport:
+        """Validate every peer's document in parallel, incrementally.
+
+        Matches the serial
+        :meth:`~repro.distributed.network.DistributedDocument.validate_locally`
+        verdict-for-verdict; ``force=True`` revalidates every peer even when
+        its cached ack is still good (what the first round does anyway).
+        """
+        started = time.perf_counter()
+        before_messages, before_bytes = self.network.snapshot()
+        if typing is not None:
+            self.propagate_typing(typing)
+
+        # Peers that need any work this round: an unknown fingerprint (the
+        # content changed, was re-published, or was swapped behind the
+        # runtime's back -- the fingerprint is only trusted while the peer
+        # still holds the object it was computed for), a missing ack, or a
+        # forced run.  Shards whose members are all clean are not dispatched.
+        payloads, self._pending_payloads = self._pending_payloads, {}
+        attention = {
+            function
+            for function, peer in self.document.resources.items()
+            if force
+            or self._current_fp[function] is None
+            or function not in self._acks
+            or peer.document is not self._fp_document.get(function)
+            or peer.validator is not self._ack_validator.get(function)
+        }
+        pending_shards = [
+            shard
+            for shard in self.shard_map.shards()
+            if any(function in attention for function in self.shard_map.members(shard))
+        ]
+
+        def run_shard(shard: int, engine: CompilationEngine) -> list[_PeerOutcome]:
+            outcomes = []
+            for function in self.shard_map.members(shard):
+                if function not in attention:
+                    continue
+                peer = self.document.resources[function]
+                pending = payloads.get(function)
+                if pending is not None:
+                    # Parse the queued publication here, off the coordinator.
+                    fingerprint, payload = pending
+                    fingerprinted = True
+                    try:
+                        peer.update_document(tree_from_xml(payload))
+                    except SyntaxError:
+                        # Malformed XML: an invalid publication.  The peer's
+                        # previous document is kept; re-publishing the same
+                        # bytes is clean-skipped like any other content.
+                        outcomes.append(_PeerOutcome(function, fingerprint, False, True, True))
+                        continue
+                else:
+                    fingerprint = self._current_fp[function]
+                    fingerprinted = (
+                        fingerprint is None
+                        or peer.document is not self._fp_document.get(function)
+                    )
+                    if fingerprinted:
+                        fingerprint = (
+                            "tree:" + tree_fingerprint(peer.document)
+                            if peer.document is not None
+                            else _NO_DOCUMENT
+                        )
+                stale = (
+                    force
+                    or function not in self._acks
+                    or fingerprint != self._validated_fp.get(function)
+                    or peer.validator is not self._ack_validator.get(function)
+                )
+                ack = peer.validate_locally() if stale else self._acks[function]
+                outcomes.append(_PeerOutcome(function, fingerprint, ack, stale, fingerprinted))
+            return outcomes
+
+        validated = skipped = fingerprinted = 0
+        valid = True
+        coordinator = self.document.coordinator.name
+        handled: set[str] = set()
+        try:
+            shard_outcomes = self.scheduler.map_shards(run_shard, pending_shards)
+        except BaseException:
+            # A failed round must not swallow queued publications: re-queue
+            # whatever this round took (newer publishes, if any, win).
+            self._pending_payloads = {**payloads, **self._pending_payloads}
+            raise
+        for outcomes in shard_outcomes:
+            for outcome in outcomes:
+                handled.add(outcome.function)
+                self._current_fp[outcome.function] = outcome.fingerprint
+                self._fp_document[outcome.function] = self.document.resources[
+                    outcome.function
+                ].document
+                fingerprinted += outcome.fingerprinted
+                if outcome.validated:
+                    validated += 1
+                    peer_name = self.document.resources[outcome.function].name
+                    self.network.send_control(
+                        coordinator, peer_name, "validate-request", outcome.function
+                    )
+                    self.network.send_control(
+                        peer_name, coordinator, "validate-result", str(outcome.ack)
+                    )
+                    self._acks[outcome.function] = outcome.ack
+                    self._validated_fp[outcome.function] = outcome.fingerprint
+                    self._ack_validator[outcome.function] = self.document.resources[
+                        outcome.function
+                    ].validator
+                else:
+                    skipped += 1
+                valid = valid and outcome.ack
+        # Peers not dispatched at all reuse their cached acknowledgements.
+        for function in self.document.resources:
+            if function not in handled:
+                skipped += 1
+                valid = valid and self._acks[function]
+
+        after_messages, after_bytes = self.network.snapshot()
+        elapsed = time.perf_counter() - started
+        self.stats.rounds += 1
+        self.stats.validations_run += validated
+        self.stats.validations_skipped += skipped
+        self.stats.fingerprints_computed += fingerprinted
+        self.stats.wall_seconds += elapsed
+        guarantee = (
+            "sound & complete: local success is equivalent to global validity"
+            if typing_is_local
+            else "sound: local success implies global validity"
+        )
+        return RuntimeReport(
+            strategy="local-parallel",
+            valid=valid,
+            messages=after_messages - before_messages,
+            bytes_shipped=after_bytes - before_bytes,
+            guarantee=guarantee,
+            peers_validated=validated,
+            peers_skipped=skipped,
+            wall_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # statistics and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def engine_stats(self) -> dict:
+        """Aggregated cache counters across the shard engines."""
+        return self.scheduler.engine_stats()
+
+    def describe(self) -> str:
+        lines = [
+            f"validation runtime over {len(self.shard_map)} peer(s), "
+            f"{self.shard_map.shard_count} shard(s), "
+            f"{self.scheduler.max_workers} worker(s) [{self.scheduler.backend}]"
+        ]
+        lines.extend("  " + line for line in self.shard_map.describe().splitlines()[1:])
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def __enter__(self) -> "ValidationRuntime":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

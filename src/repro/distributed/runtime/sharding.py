@@ -1,0 +1,67 @@
+"""Assignment of resource peers to shards.
+
+A *shard* is the unit of concurrency of the validation runtime: peers of
+one shard are always processed sequentially by the same pool task, so the
+shard's :class:`~repro.engine.compilation.CompilationEngine` is never used
+from two threads at once in normal operation.  (The engine caches are
+deliberately lock-free and only tolerate cross-thread sharing through the
+GIL-atomicity of their dictionary operations -- see
+:mod:`repro.engine.cache` -- which is another reason each shard gets its
+own engine.)  Peers of different shards run in parallel -- per-peer
+validation is embarrassingly parallel because compiled schemas are
+read-only after propagation.
+
+The assignment is deterministic (round-robin over the kernel's function
+order), so two runtimes built over the same document agree on which engine
+compiles which local type -- which keeps cache statistics reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """A deterministic ``function -> shard`` assignment."""
+
+    assignment: Mapping[str, int]
+    shard_count: int
+    _members: tuple[tuple[str, ...], ...] = field(repr=False, default=())
+
+    @classmethod
+    def over(cls, functions: Iterable[str], shard_count: int) -> "ShardMap":
+        """Round-robin the functions (in the given order) over the shards."""
+        functions = tuple(functions)
+        if shard_count <= 0:
+            raise DesignError("a shard map needs at least one shard")
+        assignment = {function: index % shard_count for index, function in enumerate(functions)}
+        members: list[list[str]] = [[] for _ in range(shard_count)]
+        for function, shard in assignment.items():
+            members[shard].append(function)
+        return cls(assignment, shard_count, tuple(tuple(shard) for shard in members))
+
+    def shard_of(self, function: str) -> int:
+        try:
+            return self.assignment[function]
+        except KeyError as error:
+            raise DesignError(f"{function!r} is not assigned to any shard") from error
+
+    def members(self, shard: int) -> tuple[str, ...]:
+        """The functions of one shard, in kernel order."""
+        return self._members[shard]
+
+    def shards(self) -> range:
+        return range(self.shard_count)
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def describe(self) -> str:
+        lines = [f"{self.shard_count} shard(s) over {len(self.assignment)} peer(s)"]
+        for shard in self.shards():
+            lines.append(f"  shard {shard}: {', '.join(self.members(shard)) or '(empty)'}")
+        return "\n".join(lines)

@@ -41,6 +41,8 @@ from repro.engine.fingerprint import (
     alphabet_key,
     dfa_fingerprint,
     nfa_fingerprint,
+    payload_fingerprint,
+    tree_fingerprint,
     uta_fingerprint,
 )
 
@@ -55,8 +57,10 @@ __all__ = [
     "dfa_fingerprint",
     "get_default_engine",
     "nfa_fingerprint",
+    "payload_fingerprint",
     "reset_default_engine",
     "set_default_engine",
+    "tree_fingerprint",
     "use_engine",
     "uta_fingerprint",
 ]

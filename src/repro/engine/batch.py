@@ -145,15 +145,24 @@ class CompiledSchema:
         """
         entry = self._document_memo.get(id(tree))
         if entry is not None and entry[0] is tree:
-            self._document_memo.move_to_end(id(tree))
+            # Lock-free like the engine caches: move_to_end may race a
+            # concurrent eviction (recency lost, value valid).
+            try:
+                self._document_memo.move_to_end(id(tree))
+            except KeyError:
+                pass
             self.engine.stats.record_hit("batch-validate")
             return entry[1]
         self.engine.stats.record_miss("batch-validate")
         states = self._possible_states(tree)
         self._document_memo[id(tree)] = (tree, states)
         if len(self._document_memo) > _DOCUMENT_MEMO_CAPACITY:
-            self._document_memo.popitem(last=False)
-            self.engine.stats.record_eviction("batch-validate")
+            try:
+                self._document_memo.popitem(last=False)
+            except KeyError:
+                pass
+            else:
+                self.engine.stats.record_eviction("batch-validate")
         return states
 
     def accepts(self, tree: Tree) -> bool:

@@ -108,7 +108,21 @@ _MISSING = object()
 
 
 class LRUCache:
-    """A least-recently-used mapping with bounded capacity and statistics."""
+    """A least-recently-used mapping with bounded capacity and statistics.
+
+    The cache may be shared across the distributed runtime's pool workers,
+    so it must tolerate concurrent use -- but it sits on every engine hot
+    path, so it takes no lock.  Safety rests on the GIL: each individual
+    ``OrderedDict`` operation used here (``get``, ``__setitem__``,
+    ``move_to_end``, ``popitem``) is a C method that runs atomically for
+    the hashable key types the engine uses (tuples of strings and ints --
+    no Python-level ``__hash__``/``__eq__`` callbacks).  The benign races
+    that remain are documented inline: a ``move_to_end`` may race an
+    eviction (caught and ignored -- only recency is lost), two threads may
+    compute the same missing value (the results are interchangeable by
+    construction, either insert may win), and statistics counters may
+    undercount under contention.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity <= 0:
@@ -123,13 +137,22 @@ class LRUCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 
+    def _touch(self, key: Hashable) -> None:
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            # The entry was evicted between lookup and touch (another
+            # thread's insert overflowed the cache); recency is lost, the
+            # value already read stays valid.
+            pass
+
     def get(self, key: Hashable, kind: Optional[str] = None) -> Any:
         """Return the cached value or ``None``, recording a hit or a miss."""
         entry = self._entries.get(key, _MISSING)
         if entry is _MISSING:
             self.stats.record_miss(kind)
             return None
-        self._entries.move_to_end(key)
+        self._touch(key)
         self.stats.record_hit(kind)
         return entry[0]
 
@@ -140,12 +163,15 @@ class LRUCache:
         not the one being inserted -- the per-kind report must show which
         pipeline stage is thrashing.
         """
-        if key in self._entries:
-            self._entries.move_to_end(key)
         self._entries[key] = (value, kind)
+        self._touch(key)
         if len(self._entries) > self.capacity:
-            _evicted_key, (_evicted_value, evicted_kind) = self._entries.popitem(last=False)
-            self.stats.record_eviction(evicted_kind)
+            try:
+                _evicted_key, (_evicted_value, evicted_kind) = self._entries.popitem(last=False)
+            except KeyError:
+                pass  # a concurrent eviction got there first
+            else:
+                self.stats.record_eviction(evicted_kind)
         return value
 
     def get_or_compute(self, key: Hashable, thunk: Callable[[], Any], kind: Optional[str] = None) -> Any:
@@ -157,7 +183,7 @@ class LRUCache:
         """
         entry = self._entries.get(key, _MISSING)
         if entry is not _MISSING:
-            self._entries.move_to_end(key)
+            self._touch(key)
             self.stats.record_hit(kind)
             return entry[0]
         self.stats.record_miss(kind)

@@ -64,6 +64,13 @@ class _IdentityMemo:
     The value pins the object itself, so an entry can never describe a
     different object than the one it was stored for (ids are only reused
     after the object is garbage collected, and a pinned object is not).
+
+    Like :class:`~repro.engine.cache.LRUCache`, the memo is lock-free and
+    relies on the GIL-atomicity of the individual ``OrderedDict``
+    operations (the keys are ``(str, int)`` tuples, so no Python-level
+    hash/eq callbacks run); a ``move_to_end`` racing an eviction only
+    loses recency, and a duplicated compute produces an interchangeable
+    value.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -74,12 +81,18 @@ class _IdentityMemo:
         key = (kind, id(obj))
         entry = self._entries.get(key)
         if entry is not None and entry[0] is obj:
-            self._entries.move_to_end(key)
+            try:
+                self._entries.move_to_end(key)
+            except KeyError:
+                pass  # concurrently evicted; the value stays valid
             return entry[1], True
         value = thunk()
         self._entries[key] = (obj, value)
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            try:
+                self._entries.popitem(last=False)
+            except KeyError:
+                pass  # a concurrent eviction got there first
         return value, False
 
     def clear(self) -> None:

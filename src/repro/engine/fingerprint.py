@@ -26,6 +26,7 @@ from collections.abc import Iterable
 
 from repro.automata.dfa import DFA
 from repro.automata.nfa import EPSILON, NFA
+from repro.trees.document import Tree
 
 #: Number of hex characters kept from the sha256 digest (128 bits).
 _DIGEST_LENGTH = 32
@@ -108,6 +109,59 @@ def dfa_fingerprint(dfa: DFA) -> str:
         ";".join(f"{src}>{symbol}>{dst}" for src, symbol, dst in triples),
     ]
     return _digest(parts)
+
+
+def tree_fingerprint(tree: Tree) -> str:
+    """Content-address a document (an ordered unranked tree).
+
+    Two trees share a fingerprint iff they are equal as values (same shape,
+    same labels) -- regardless of object identity.  This is what lets the
+    distributed runtime detect that a peer re-published the *same content*
+    as a fresh object (the common case after a round-trip through
+    serialisation) and skip revalidating it.
+
+    The canonical serialisation is ``arities ; label-lengths \\x01 labels``
+    over the preorder traversal: the preorder arity sequence determines the
+    shape, the length sequence splits the concatenated labels unambiguously
+    (whatever characters they contain), and the metadata prefix is pure
+    digits/punctuation so the first ``\\x01`` is always the delimiter.  It
+    sits on the runtime's per-round hot path, so everything is built with
+    bulk string operations and hashed in one call; the traversal is
+    iterative because documents can be deeper than the recursion limit.
+    """
+    labels: list[str] = []
+    arities: list[int] = []
+    stack: list[Tree] = [tree]
+    pop = stack.pop
+    add_label = labels.append
+    add_arity = arities.append
+    while stack:
+        node = pop()
+        add_label(node.label)
+        children = node.children
+        add_arity(len(children))
+        if children:
+            stack.extend(reversed(children))
+    blob = "%s;%s\x01%s" % (
+        ",".join(map(str, arities)),
+        ",".join(map(str, map(len, labels))),
+        "".join(labels),
+    )
+    return hashlib.sha256(b"tree\x00" + blob.encode("utf-8")).hexdigest()[:_DIGEST_LENGTH]
+
+
+def payload_fingerprint(payload: str | bytes) -> str:
+    """Content-address a serialised document (its wire bytes).
+
+    Hashing the bytes of a publication is an order of magnitude cheaper
+    than parsing it -- sha256 runs at native speed -- so the runtime checks
+    this digest *before* parsing and skips clean re-publications entirely.
+    Byte equality is sufficient (not necessary) for content equality: a
+    peer serialising the same document differently merely loses the
+    skip, never soundness.
+    """
+    data = payload.encode("utf-8") if isinstance(payload, str) else payload
+    return hashlib.sha256(b"payload\x00" + data).hexdigest()[:_DIGEST_LENGTH]
 
 
 def uta_fingerprint(uta) -> str:

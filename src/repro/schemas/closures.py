@@ -29,10 +29,8 @@ from __future__ import annotations
 
 import hashlib
 from collections import deque
-from collections.abc import Mapping
 
 from repro.automata import operations as ops
-from repro.automata.nfa import NFA
 from repro.engine.compilation import get_default_engine
 from repro.schemas.content_model import ContentModel
 from repro.schemas.dtd import DTD

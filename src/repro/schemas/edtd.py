@@ -17,14 +17,13 @@ normalised form is what the top-down EDTD typing algorithms work on.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from collections.abc import Mapping
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.errors import SchemaError
 from repro.automata import operations as ops
-from repro.automata.nfa import EPSILON, NFA
+from repro.automata.nfa import NFA
 from repro.schemas.content_model import ContentModel, Formalism, LanguageLike, content_model
 from repro.trees.automata import UnrankedTreeAutomaton, joint_reachable_profiles
 from repro.trees.document import Tree

@@ -14,7 +14,7 @@ tree (taking a path) and as convenience accessors on subtrees.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 Path = tuple[int, ...]

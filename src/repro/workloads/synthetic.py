@@ -11,13 +11,18 @@ Each family isolates one phenomenon of the paper's complexity tables:
 * :func:`edtd_topdown_design` -- top-down EDTD designs with a growing number
   of specialisations (Table 3, column 2);
 * :func:`random_valid_document` -- random documents valid for a DTD, used by
-  the distributed-validation workload.
+  the distributed-validation workload;
+* :func:`distributed_workload` -- a parameterised stream of per-peer
+  document publications replayed by the distributed runtime's
+  :class:`~repro.distributed.runtime.driver.WorkloadDriver` (scales to
+  hundreds of peers and thousands of documents).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from repro.automata.nfa import NFA
 from repro.core.design import BottomUpDesign, TopDownDesign
@@ -184,6 +189,155 @@ def sample_content_word(nfa: NFA, rng: random.Random, max_length: int = 8) -> Op
         if len(word) > 4 * max_length:
             # Safety valve for content models without short accepting runs.
             return tuple(word) if can_stop else None
+
+
+# --------------------------------------------------------------------------- #
+# the distributed-validation workload (driven by the runtime's WorkloadDriver)
+# --------------------------------------------------------------------------- #
+
+
+#: The shared inner rules of the record workload (labels without a rule --
+#: key, stamp, note, value -- are leaf-only by the paper's convention).
+_RECORD_RULES = {
+    "record": "key, (field | group)*, stamp?",
+    "group": "(field, field) | note",
+    "field": "value?",
+}
+
+
+def peer_record_dtd(function: str) -> DTD:
+    """The local type of one workload peer: a small record-oriented DTD.
+
+    Nested enough that validation does real horizontal-automaton work per
+    node (unlike the ``xi*`` chain family, whose documents are flat).
+    """
+    root = default_root_name(function)
+    return DTD(root, {root: "record*", **_RECORD_RULES})
+
+
+def workload_global_dtd(root: str = "s0") -> DTD:
+    """The global type of the record workload.
+
+    Every peer's content model is ``record*`` and the kernel is flat, so the
+    materialised extension is ``record*`` again -- the typing of
+    :func:`distributed_workload` is local (sound and complete), and the
+    centralized strategy has an exact global type to check against.
+    """
+    return DTD(root, {root: "record*", **_RECORD_RULES})
+
+
+def random_record_document(
+    root: str, rng: random.Random, records: int = 12, fields: int = 6
+) -> Tree:
+    """A random document valid for :func:`peer_record_dtd` (root ``record*``).
+
+    Built directly (not via a random automaton walk) so the document size is
+    controllable: roughly ``records × fields`` nodes, which is what makes
+    per-peer validation a measurable unit of work for the runtime
+    benchmarks.  ``records``/``fields`` bound the per-document record count
+    and the per-record field count.
+    """
+    built = []
+    for _ in range(rng.randint(max(1, records // 2), max(1, records))):
+        children = [Tree.leaf("key")]
+        for _ in range(rng.randint(0, max(0, fields))):
+            if rng.random() < 0.3:
+                children.append(
+                    Tree("group", (Tree("field", (Tree.leaf("value"),)), Tree.leaf("field")))
+                )
+            else:
+                children.append(
+                    Tree("field", (Tree.leaf("value"),) if rng.random() < 0.5 else ())
+                )
+        if rng.random() < 0.5:
+            children.append(Tree.leaf("stamp"))
+        built.append(Tree("record", tuple(children)))
+    return Tree(root, tuple(built))
+
+
+def corrupt_document(document: Tree) -> Tree:
+    """A rejected variant: one alien leaf appended under the root.
+
+    The corruption is small and sits at the end of the root's children
+    string, so validation still does full work on the rest of the document
+    -- the shape the workload wants for its bad publications.
+    """
+    return Tree(document.label, document.children + (Tree.leaf("__corrupt__"),))
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One publication: ``function`` replaces its document with ``document``."""
+
+    function: str
+    document: Tree
+    expected_valid: bool
+
+
+@dataclass(frozen=True)
+class DistributedWorkload:
+    """A replayable distributed-validation workload.
+
+    ``initial_documents`` seeds every peer; ``events`` is the stream of
+    subsequent publications (one peer changes content per event, every peer
+    re-publishes its current content as a fresh object -- the driver
+    simulates the serialisation round-trip).
+    """
+
+    kernel: KernelTree
+    typing: TreeTyping
+    global_type: DTD
+    initial_documents: Mapping[str, Tree]
+    events: tuple[WorkloadEvent, ...]
+
+    @property
+    def peer_count(self) -> int:
+        return len(self.initial_documents)
+
+    @property
+    def document_count(self) -> int:
+        """Total distinct documents replayed (initial seeds + publications)."""
+        return self.peer_count + len(self.events)
+
+
+def distributed_workload(
+    peers: int = 8,
+    documents: int = 64,
+    seed: int = 0,
+    invalid_rate: float = 0.0,
+    records: int = 12,
+    fields: int = 6,
+) -> DistributedWorkload:
+    """Build a synthetic workload of ``documents`` publications over ``peers`` peers.
+
+    ``documents`` counts the initial per-peer seeds plus the edit events, so
+    ``distributed_workload(peers=100, documents=2000)`` replays 1900 edits
+    over 100 peers.  ``invalid_rate`` is the probability that a publication
+    is corrupt (rejected by the peer's local type); ``records``/``fields``
+    control the document sizes (see :func:`random_record_document`).
+    """
+    if peers < 1:
+        raise ValueError("the workload needs at least one peer")
+    if documents < peers:
+        raise ValueError("documents must be >= peers (every peer needs a seed document)")
+    rng = random.Random(seed)
+    kernel = flat_kernel(peers)
+    functions = kernel.functions
+    types = {function: peer_record_dtd(function) for function in functions}
+    typing = TreeTyping(types)
+    initial = {
+        function: random_record_document(types[function].start, rng, records, fields)
+        for function in functions
+    }
+    events = []
+    for _ in range(documents - peers):
+        function = functions[rng.randrange(peers)]
+        corrupt = rng.random() < invalid_rate
+        document = random_record_document(types[function].start, rng, records, fields)
+        if corrupt:
+            document = corrupt_document(document)
+        events.append(WorkloadEvent(function, document, not corrupt))
+    return DistributedWorkload(kernel, typing, workload_global_dtd(), initial, tuple(events))
 
 
 def random_valid_document(

@@ -21,7 +21,6 @@ from repro.automata.regex import (
     regex_to_nfa,
 )
 from repro.automata.equivalence import equivalent
-from repro.automata.nfa import NFA
 
 
 class TestParser:

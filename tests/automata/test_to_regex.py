@@ -8,7 +8,7 @@ from hypothesis import given
 
 from repro.automata.equivalence import equivalent
 from repro.automata.nfa import NFA
-from repro.automata.regex import Concat, Epsilon, Opt, Plus, Star, Sym, Union, parse_regex, regex_to_nfa
+from repro.automata.regex import Concat, Epsilon, Opt, Plus, Star, Sym, Union, regex_to_nfa
 from repro.automata.to_regex import nfa_to_regex, nfa_to_regex_text, simplify_concat, simplify_star, simplify_union
 from repro.automata.regex import EmptySet
 

@@ -6,14 +6,11 @@ separation examples of Section 2.4.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.automata.equivalence import equivalent
 from repro.automata.regex import regex_to_nfa
 from repro.core.design import TopDownDesign
 from repro.core.existence import (
     find_local_typing,
-    find_maximal_local_typing,
     find_maximal_local_typings,
     find_perfect_typing,
 )

@@ -8,7 +8,6 @@ import pytest
 
 from repro.core.consistency import check_consistency
 from repro.core.locality import is_local
-from repro.schemas.compare import schema_equivalent
 from repro.schemas.content_model import Formalism
 from repro.workloads import eurostat, synthetic
 
