@@ -116,6 +116,118 @@ def _scenario_fig7_build(k: int, functions: int):
     return run, sizes
 
 
+#: Teardown callbacks registered by scenarios that hold live resources
+#: (service handles, client sockets); run once after all timing is done.
+_CLEANUPS: list = []
+
+
+def _close_scenarios() -> None:
+    while _CLEANUPS:
+        _CLEANUPS.pop()()
+
+
+#: Shared state of the two publish-latency scenarios (one server boot).
+_PUBLISH_STATE: dict = {}
+
+
+def _service_publish_state():
+    """One server + client + pre-published payloads, shared by p50/p99."""
+    if not _PUBLISH_STATE:
+        from repro.service.client import ServiceClient
+        from repro.service.server import ServiceHandle, ValidationServer
+        from repro.trees.xml_io import tree_to_xml
+        from repro.workloads import synthetic
+
+        workload = synthetic.distributed_workload(peers=8, documents=8, seed=0)
+        handle = ServiceHandle(ValidationServer()).start()
+        _CLEANUPS.append(handle.close)
+        client = ServiceClient(handle.host, handle.port)
+        _CLEANUPS.append(client.close)
+        payloads = {f: tree_to_xml(doc) for f, doc in workload.initial_documents.items()}
+        client.register_design(
+            "bench", str(workload.kernel.tree), dict(workload.typing.items()), payloads
+        )
+        for function, payload in payloads.items():
+            client.publish("bench", function, payload)  # first sight: validates
+        _PUBLISH_STATE.update(client=client, payloads=payloads)
+        _CLEANUPS.append(_PUBLISH_STATE.clear)
+    return _PUBLISH_STATE["client"], _PUBLISH_STATE["payloads"]
+
+
+def _scenario_service_publish(quantile: str):
+    """Per-publish round-trip latency percentile over a live loopback service.
+
+    A blocking client re-publishes byte-identical payloads (the steady
+    state: fingerprint fast path, no validation rounds), so the number is
+    the floor of the service stack -- framing, asyncio scheduling,
+    admission batching, one sha256.  The scenario's extra key
+    ``p50_ms``/``p99_ms`` carries the percentile; ``mean_ms`` stays the
+    harness wall-clock of a whole round of publishes.  Both percentile
+    scenarios drive the same server, booted here at build time so no
+    timed round (in particular no "cold" round) absorbs the boot.
+    """
+    from repro.metrics import Histogram
+
+    client, payloads = _service_publish_state()
+    fraction = {"p50": 0.50, "p99": 0.99}[quantile]
+    repeats = 4
+    sizes = {"peers": 8, "publications_per_round": repeats * len(payloads)}
+
+    def run():
+        histogram = Histogram()
+        for _ in range(repeats):
+            for function, payload in payloads.items():
+                started = time.perf_counter()
+                result = client.publish("bench", function, payload)
+                histogram.record(1000 * (time.perf_counter() - started))
+                assert result["clean"]
+        return {f"{quantile}_ms": round(histogram.percentile(fraction), 4)}
+
+    return run, sizes
+
+
+def _scenario_service_throughput(peers: int, documents: int):
+    """Closed-loop service throughput: the headline publications/second.
+
+    The extra ``throughput_per_s`` key is the acceptance number (>= 1k/s
+    on loopback for the 8-peer record workload).
+    """
+    from repro.service.loadgen import run_load
+    from repro.service.server import ServiceHandle, ValidationServer
+    from repro.workloads import synthetic
+
+    workload = synthetic.distributed_workload(
+        peers=peers, documents=documents, seed=0, invalid_rate=0.05
+    )
+    handle = ServiceHandle(ValidationServer()).start()
+    _CLEANUPS.append(handle.close)
+    # Register at build time (one untimed warm-up replay), so neither the
+    # cold nor the warm rounds pay the boot/registration cost.
+    run_load(handle.host, handle.port, workload, design="bench", clients=4, pipeline=8)
+    rounds = documents - peers + 1
+    sizes = {"peers": peers, "documents": documents, "publications": rounds * peers, "clients": 4}
+
+    def run():
+        report = run_load(
+            handle.host,
+            handle.port,
+            workload,
+            design="bench",
+            clients=4,
+            pipeline=8,
+            register=False,
+        )
+        assert report.errors == 0
+        return {
+            "throughput_per_s": round(report.throughput, 1),
+            "p50_ms": round(report.p50_ms, 4),
+            "p99_ms": round(report.p99_ms, 4),
+            "publications": report.publications,
+        }
+
+    return run, sizes
+
+
 def _scenario_distributed_workload(strategy: str, peers: int, documents: int):
     """One full workload replay through the distributed runtime's driver.
 
@@ -163,6 +275,11 @@ def _scenarios(smoke: bool):
             "distributed_workload_runtime_100",
             _scenario_distributed_workload("runtime", 100, 200),
         )
+    for quantile in ("p50", "p99"):
+        yield f"service_publish_{quantile}", _scenario_service_publish(quantile)
+    yield "service_throughput_8", _scenario_service_throughput(8, documents)
+    if not smoke:
+        yield "service_throughput_100", _scenario_service_throughput(100, 110)
 
 
 # --------------------------------------------------------------------------- #
@@ -170,27 +287,33 @@ def _scenarios(smoke: bool):
 # --------------------------------------------------------------------------- #
 
 
-def _time_rounds(run, rounds: int, fresh_engine: bool) -> list[float]:
+def _time_rounds(run, rounds: int, fresh_engine: bool) -> tuple[list[float], object]:
+    """Time ``rounds`` runs; also returns the last run's return value.
+
+    Scenarios may return a dict of extra result keys (percentiles,
+    throughput) that gets merged into their ``BENCH_core.json`` entry.
+    """
     from repro.engine.compilation import reset_default_engine
 
     times = []
+    last = None
     if not fresh_engine:
         reset_default_engine()
-        run()  # warm-up: populate the engine caches
+        last = run()  # warm-up: populate the engine caches
     for _ in range(rounds):
         if fresh_engine:
             reset_default_engine()
         start = time.perf_counter()
-        run()
+        last = run()
         times.append(time.perf_counter() - start)
-    return times
+    return times, last
 
 
 def run_benchmarks(smoke: bool, rounds: int) -> dict:
     results = {}
     for name, (run, sizes) in _scenarios(smoke):
-        cold = _time_rounds(run, max(1, rounds // 3), fresh_engine=True)
-        warm = _time_rounds(run, rounds, fresh_engine=False)
+        cold, _ = _time_rounds(run, max(1, rounds // 3), fresh_engine=True)
+        warm, extra = _time_rounds(run, rounds, fresh_engine=False)
         results[name] = {
             "mean_ms": round(1000 * statistics.mean(warm), 4),
             "min_ms": round(1000 * min(warm), 4),
@@ -198,6 +321,8 @@ def run_benchmarks(smoke: bool, rounds: int) -> dict:
             "rounds": rounds,
             "sizes": sizes,
         }
+        if isinstance(extra, dict):
+            results[name].update(extra)
         print(
             f"{name:40s} warm {results[name]['mean_ms']:9.3f} ms   "
             f"cold {results[name]['cold_mean_ms']:9.3f} ms"
@@ -271,7 +396,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     rounds = args.rounds if args.rounds is not None else (5 if args.smoke else 20)
-    results = run_benchmarks(args.smoke, rounds)
+    try:
+        results = run_benchmarks(args.smoke, rounds)
+    finally:
+        _close_scenarios()
     serial = results.get("distributed_workload_serial_8")
     runtime = results.get("distributed_workload_runtime_8")
     if serial and runtime:

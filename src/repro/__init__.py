@@ -34,9 +34,11 @@ _API_EXPORTS = (
     "get_default_engine",
     "kernel",
     "run_distributed_workload",
+    "serve_design",
     "top_down_design",
     "tree",
     "use_engine",
+    "ServiceHandle",
     "ValidationRuntime",
     "WorkloadReport",
 )

@@ -39,6 +39,7 @@ from repro.engine import (
     get_default_engine,
     use_engine,
 )
+from repro.service.server import ServiceHandle, ValidationServer
 from repro.trees.document import Tree
 from repro.trees.term import parse_term
 from repro.workloads.synthetic import distributed_workload
@@ -56,8 +57,10 @@ __all__ = [
     "DesignReport",
     "analyze_design",
     "run_distributed_workload",
+    "serve_design",
     "BatchValidator",
     "CompilationEngine",
+    "ServiceHandle",
     "ValidationRuntime",
     "WorkloadReport",
     "get_default_engine",
@@ -226,6 +229,39 @@ def run_distributed_workload(
     )
     driver = WorkloadDriver(workload, max_workers=workers, shards=shards, backend=backend)
     return driver.run(strategies)
+
+
+def serve_design(
+    kernel_document: Union[KernelTree, str, Tree],
+    typing: Union[TreeTyping, Mapping[str, SchemaType]],
+    documents: Mapping[str, Tree],
+    design_id: str = "default",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **server_options,
+) -> ServiceHandle:
+    """Serve a design over TCP: validation-as-a-service on a live socket.
+
+    Builds a :class:`~repro.service.server.ValidationServer`, registers the
+    design (typing propagated, seed documents validated) and starts the
+    server on its own thread.  The returned
+    :class:`~repro.service.server.ServiceHandle` exposes the bound
+    ``host``/``port`` and shuts the service down gracefully on ``close()``
+    (or when used as a context manager).  Additional ``server_options``
+    are passed to the server (``max_frame_bytes``, ``max_batch``,
+    ``batch_window``, ``runtime_workers``, ``runtime_shards``, ...).
+
+    >>> from repro import serve_design  # doctest: +SKIP
+    >>> handle = serve_design(workload.kernel, workload.typing,
+    ...                       workload.initial_documents)  # doctest: +SKIP
+    """
+    if not isinstance(typing, TreeTyping):
+        typing = TreeTyping(typing)
+    if not isinstance(kernel_document, KernelTree):
+        kernel_document = kernel(kernel_document)
+    server = ValidationServer(host=host, port=port, **server_options)
+    server.preload_design(design_id, kernel_document, typing, documents)
+    return ServiceHandle(server).start()
 
 
 def analyze_design(

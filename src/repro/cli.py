@@ -13,7 +13,16 @@ designer's tool:
 * ``repro-design distributed --peers 8 --documents 64 --workers 4`` —
   replay a synthetic distributed-validation workload through the serial,
   sharded-runtime and (optionally) centralized strategies and compare
-  wall-clock, throughput, messages and bytes shipped.
+  wall-clock, throughput, messages and bytes shipped;
+* ``repro-design serve --port 7421`` — run the validation service: an
+  asyncio TCP server speaking the frame protocol of
+  :mod:`repro.service.protocol` over the distributed runtime;
+* ``repro-design bench-serve --peers 8 --documents 64`` — boot a service
+  on an ephemeral loopback port and drive it with the open-/closed-loop
+  load generator.
+
+``distributed``, ``serve`` and ``bench-serve`` accept ``--json`` for
+machine-readable output (what CI and scripts consume).
 
 Schema files may use either the W3C ``<!ELEMENT ...>`` syntax or the paper's
 arrow notation (``name -> content``); see :mod:`repro.schemas.dtd_text`.
@@ -22,6 +31,7 @@ arrow notation (``name -> content``); see :mod:`repro.schemas.dtd_text`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -124,6 +134,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also replay the centralized ship-everything strategy",
     )
+    distributed.add_argument(
+        "--json", action="store_true", help="emit the report as machine-readable JSON"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the validation service (asyncio TCP server over the runtime)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=7421, help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port to this file once listening (for scripts and CI)",
+    )
+    serve.add_argument(
+        "--shutdown-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shut down after this many seconds (otherwise serve until a shutdown request)",
+    )
+    serve.add_argument("--workers", type=int, default=4, help="runtime thread-pool size per design")
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=None, help="reject frames larger than this"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=None, help="publications coalesced per micro-batch"
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="seconds to wait for stragglers before dispatching a micro-batch",
+    )
+    serve.add_argument(
+        "--preload-peers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pre-register a synthetic N-peer record workload as design 'workload'",
+    )
+    serve.add_argument("--preload-seed", type=int, default=0, help="seed of the preloaded workload")
+    serve.add_argument(
+        "--json", action="store_true", help="announce the endpoint as one JSON line"
+    )
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="boot a service on loopback and drive it with the load generator",
+    )
+    bench_serve.add_argument("--peers", type=int, default=8, help="number of resource peers")
+    bench_serve.add_argument(
+        "--documents", type=int, default=64, help="total publications (initial seeds + edits)"
+    )
+    bench_serve.add_argument("--seed", type=int, default=0, help="workload random seed")
+    bench_serve.add_argument(
+        "--invalid-rate", type=float, default=0.05, help="probability of a corrupt publication"
+    )
+    bench_serve.add_argument(
+        "--records", type=int, default=12, help="records per document (document size knob)"
+    )
+    bench_serve.add_argument(
+        "--fields", type=int, default=6, help="fields per record (document size knob)"
+    )
+    bench_serve.add_argument(
+        "--mode", choices=("closed", "open"), default="closed", help="load-generation discipline"
+    )
+    bench_serve.add_argument("--clients", type=int, default=4, help="concurrent client connections")
+    bench_serve.add_argument(
+        "--pipeline", type=int, default=8, help="closed loop: in-flight publications per client"
+    )
+    bench_serve.add_argument(
+        "--rate", type=float, default=None, help="open loop: offered publications per second"
+    )
+    bench_serve.add_argument("--workers", type=int, default=4, help="runtime thread-pool size")
+    bench_serve.add_argument(
+        "--json", action="store_true", help="emit the load report as machine-readable JSON"
+    )
 
     return parser
 
@@ -189,11 +279,107 @@ def _run_distributed(args: argparse.Namespace) -> int:
         fields=args.fields,
         strategies=tuple(strategies),
     )
-    print(report.summary())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     if not report.verdicts_agree:
         print("error: the strategies disagree on at least one round", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.protocol import MAX_FRAME_BYTES
+    from repro.service.server import DEFAULT_MAX_BATCH, ValidationServer
+    from repro.workloads.synthetic import distributed_workload
+
+    server = ValidationServer(
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=args.max_frame_bytes if args.max_frame_bytes is not None else MAX_FRAME_BYTES,
+        max_batch=args.max_batch if args.max_batch is not None else DEFAULT_MAX_BATCH,
+        batch_window=args.batch_window,
+        runtime_workers=args.workers,
+    )
+    if args.preload_peers:
+        workload = distributed_workload(
+            peers=args.preload_peers, documents=args.preload_peers, seed=args.preload_seed
+        )
+        server.preload_design(
+            "workload", workload.kernel, workload.typing, workload.initial_documents
+        )
+
+    async def serve() -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        # Ctrl-C / SIGTERM trigger the same graceful close as a shutdown
+        # request: drain the admission queue, notify clients, join threads.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # non-unix platforms
+                pass
+        await server.start()
+        endpoint = {"host": server.host, "port": server.port, "designs": sorted(server._designs)}
+        if args.json:
+            print(json.dumps(endpoint), flush=True)
+        else:
+            print(f"validation service listening on {server.host}:{server.port}", flush=True)
+        if args.port_file is not None:
+            # Atomic: pollers watching for the file must never read it empty.
+            import os
+
+            staging = args.port_file.with_name(args.port_file.name + ".tmp")
+            staging.write_text(str(server.port), encoding="utf-8")
+            os.replace(staging, args.port_file)
+        if args.shutdown_after is not None:
+            loop.call_later(args.shutdown_after, server.request_shutdown)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        # Signal handler unavailable (non-unix): the loop died mid-flight
+        # with connections beyond help; still join executor and runtime
+        # threads so the process exits clean.
+        server.close_threads()
+    if not args.json:
+        print("validation service stopped")
+    return 0
+
+
+def _run_bench_serve(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import run_load
+    from repro.service.server import ServiceHandle, ValidationServer
+    from repro.workloads.synthetic import distributed_workload
+
+    workload = distributed_workload(
+        peers=args.peers,
+        documents=args.documents,
+        seed=args.seed,
+        invalid_rate=args.invalid_rate,
+        records=args.records,
+        fields=args.fields,
+    )
+    with ServiceHandle(ValidationServer(runtime_workers=args.workers)).start() as handle:
+        report = run_load(
+            handle.host,
+            handle.port,
+            workload,
+            mode=args.mode,
+            clients=args.clients,
+            pipeline=args.pipeline,
+            rate=args.rate,
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 1 if report.errors else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -205,6 +391,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bottomup": _run_bottomup,
         "validate": _run_validate,
         "distributed": _run_distributed,
+        "serve": _run_serve,
+        "bench-serve": _run_bench_serve,
     }
     # Each invocation runs on a fresh engine so that --stats reports the hit
     # rates of this run alone, not of the whole process.

@@ -32,6 +32,7 @@ from repro.core.typing import SchemaType, TreeTyping
 from repro.distributed.peer import Message, Peer, ResourcePeer, document_bytes
 from repro.engine.batch import BatchReport, BatchValidator
 from repro.engine.compilation import CompilationEngine, get_default_engine
+from repro.metrics import LedgerSnapshot, TrafficLedger
 from repro.trees.document import Tree
 
 #: Size of a control message (a call request or a boolean acknowledgement).
@@ -43,20 +44,23 @@ class Network:
     """The message log shared by all peers of a simulation.
 
     The log may be appended to from pool workers of the distributed runtime,
-    so every mutation is serialised by a lock; reads of the accounting
-    properties take the same lock so a count never observes a half-appended
-    batch.
+    so every mutation is serialised by a lock.  Message/byte totals live in
+    a :class:`~repro.service.metrics.TrafficLedger` -- the same counter
+    implementation the network service uses for its socket accounting --
+    so a count never observes a half-appended batch and every layer of the
+    system means the same thing by "messages" and "bytes shipped".
     """
 
     peers: dict[str, Peer] = field(default_factory=dict)
     log: list[Message] = field(default_factory=list)
+    ledger: TrafficLedger = field(default_factory=TrafficLedger, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
-    _bytes_total: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        # Running totals keep the accounting O(1) per read (the workload
-        # driver reads them every round); seeded from any pre-filled log.
-        self._bytes_total = sum(message.payload_bytes for message in self.log)
+        # The ledger keeps the accounting O(1) per read (the workload
+        # driver reads it every round); seeded from any pre-filled log.
+        for message in self.log:
+            self.ledger.record(message.payload_bytes)
 
     def register(self, peer: Peer) -> Peer:
         self.peers[peer.name] = peer
@@ -65,7 +69,7 @@ class Network:
     def send(self, sender: str, recipient: str, kind: str, payload_bytes: int, description: str = "") -> None:
         with self._lock:
             self.log.append(Message(sender, recipient, kind, payload_bytes, description))
-            self._bytes_total += payload_bytes
+            self.ledger.record(payload_bytes)
 
     def send_control(
         self, sender: str, recipient: str, kind: str, description: str = "", extra_bytes: int = 0
@@ -87,23 +91,20 @@ class Network:
 
     @property
     def message_count(self) -> int:
-        with self._lock:
-            return len(self.log)
+        return self.ledger.messages
 
     @property
     def bytes_shipped(self) -> int:
-        with self._lock:
-            return self._bytes_total
+        return self.ledger.bytes
 
-    def snapshot(self) -> tuple[int, int]:
+    def snapshot(self) -> LedgerSnapshot:
         """``(message_count, bytes_shipped)`` read atomically (one lock hold)."""
-        with self._lock:
-            return len(self.log), self._bytes_total
+        return self.ledger.snapshot()
 
     def reset(self) -> None:
         with self._lock:
             self.log.clear()
-            self._bytes_total = 0
+            self.ledger.reset()
 
 
 @dataclass(frozen=True)

@@ -63,6 +63,19 @@ class StrategyOutcome:
         """Validated documents per second of wall-clock."""
         return self.documents_validated / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view (what ``repro-design distributed --json`` emits)."""
+        return {
+            "strategy": self.strategy,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "documents_validated": self.documents_validated,
+            "throughput_per_s": round(self.throughput, 1),
+            "messages": self.messages,
+            "bytes_shipped": self.bytes_shipped,
+            "rounds": self.rounds,
+            "verdicts": list(self.verdicts),
+        }
+
 
 @dataclass(frozen=True)
 class WorkloadReport:
@@ -85,6 +98,17 @@ class WorkloadReport:
         """Did every strategy produce the same verdict sequence?"""
         sequences = {outcome.verdicts for outcome in self.outcomes}
         return len(sequences) <= 1
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (what ``repro-design distributed --json`` emits)."""
+        return {
+            "peers": self.peers,
+            "documents": self.documents,
+            "workers": self.workers,
+            "shards": self.shards,
+            "verdicts_agree": self.verdicts_agree,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
 
     def summary(self) -> str:
         lines = [
@@ -155,10 +179,8 @@ class WorkloadDriver:
         return wall, tuple(verdicts)
 
     def _outcome(self, strategy, network, base, wall, validated, verdicts) -> StrategyOutcome:
-        messages, bytes_shipped = network.snapshot()
-        return StrategyOutcome(
-            strategy, wall, validated, messages - base[0], bytes_shipped - base[1], verdicts
-        )
+        traffic = network.ledger.since(base)
+        return StrategyOutcome(strategy, wall, validated, traffic.messages, traffic.bytes, verdicts)
 
     def _ingest_parsing(self, document: DistributedDocument):
         """The baseline ingest: parse every publication, no content check."""

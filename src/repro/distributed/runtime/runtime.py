@@ -91,6 +91,11 @@ class RuntimeReport(ValidationReport):
     peers_validated: int = 0
     peers_skipped: int = 0
     wall_seconds: float = 0.0
+    #: Functions whose queued wire publication failed to parse this round.
+    #: The network service maps these to typed ``invalid-xml`` error frames;
+    #: the verdict accounting is unchanged (a malformed publication is an
+    #: invalid publication, ack ``False``).
+    parse_failures: tuple[str, ...] = ()
 
     def __str__(self) -> str:
         base = super().__str__()
@@ -106,6 +111,7 @@ class _PeerOutcome:
     ack: bool
     validated: bool
     fingerprinted: bool
+    malformed: bool = False
 
 
 class ValidationRuntime:
@@ -327,7 +333,9 @@ class ValidationRuntime:
                         # Malformed XML: an invalid publication.  The peer's
                         # previous document is kept; re-publishing the same
                         # bytes is clean-skipped like any other content.
-                        outcomes.append(_PeerOutcome(function, fingerprint, False, True, True))
+                        outcomes.append(
+                            _PeerOutcome(function, fingerprint, False, True, True, malformed=True)
+                        )
                         continue
                 else:
                     fingerprint = self._current_fp[function]
@@ -355,6 +363,7 @@ class ValidationRuntime:
         valid = True
         coordinator = self.document.coordinator.name
         handled: set[str] = set()
+        parse_failures: list[str] = []
         try:
             shard_outcomes = self.scheduler.map_shards(run_shard, pending_shards)
         except BaseException:
@@ -365,6 +374,8 @@ class ValidationRuntime:
         for outcomes in shard_outcomes:
             for outcome in outcomes:
                 handled.add(outcome.function)
+                if outcome.malformed:
+                    parse_failures.append(outcome.function)
                 self._current_fp[outcome.function] = outcome.fingerprint
                 self._fp_document[outcome.function] = self.document.resources[
                     outcome.function
@@ -414,7 +425,30 @@ class ValidationRuntime:
             peers_validated=validated,
             peers_skipped=skipped,
             wall_seconds=elapsed,
+            parse_failures=tuple(sorted(parse_failures)),
         )
+
+    # ------------------------------------------------------------------ #
+    # cached-verdict views (what the network service reports per request)
+    # ------------------------------------------------------------------ #
+
+    def peer_acks(self) -> dict[str, bool]:
+        """The cached per-peer acknowledgements (function -> last verdict)."""
+        return dict(self._acks)
+
+    def current_verdict(self) -> Optional[bool]:
+        """The global verdict derivable from cached acks alone, if any.
+
+        ``None`` when some peer has no cached acknowledgement or has
+        pending/unfingerprinted content -- callers must run a
+        :meth:`validate_locally` round to get a verdict.  When every peer
+        is clean this answers without dispatching anything, which is what
+        lets the service acknowledge byte-identical re-publications at
+        hashing speed.
+        """
+        if self.dirty_peers():
+            return None
+        return all(self._acks[function] for function in self.document.resources)
 
     # ------------------------------------------------------------------ #
     # statistics and lifecycle

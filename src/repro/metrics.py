@@ -1,0 +1,226 @@
+"""Shared counters, histograms and traffic ledgers.
+
+One counter implementation serves every accounting need of the system:
+
+* :class:`Counter` -- a thread-safe monotonic counter;
+* :class:`Histogram` -- a bounded-reservoir histogram with percentile
+  queries (request latencies, batch sizes, queue depths);
+* :class:`TrafficLedger` -- the message/byte pair used both by the
+  simulated peer :class:`~repro.distributed.network.Network` and by the
+  validation service's socket accounting
+  (:mod:`repro.service.metrics`), so "bytes shipped" means the same thing
+  whether the traffic is simulated control messages or real TCP frames;
+* :class:`MetricsRegistry` -- a named collection of the above with one
+  ``snapshot()`` (what the service's ``stats`` request returns).
+
+The module sits beside :mod:`repro.engine` at the bottom of the layer
+stack on purpose: ``distributed`` and ``service`` both import it, never
+each other's accounting.  Everything here is synchronised with plain
+locks and safe to update from pool workers, shard tasks and the asyncio
+event loop thread alike.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import NamedTuple, Optional
+
+#: Default reservoir bound of a histogram (observations beyond it wrap around).
+DEFAULT_RESERVOIR = 65536
+
+
+class Counter:
+    """A thread-safe monotonic counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A bounded-reservoir histogram with percentile queries.
+
+    Observations are kept in a ring buffer of ``reservoir`` slots: the
+    histogram never grows beyond its bound, and once it wraps the
+    percentiles describe the most recent ``reservoir`` observations --
+    the steady state, which is what a latency distribution should show.
+    ``count``/``total`` keep exact all-time totals regardless of the bound.
+    """
+
+    __slots__ = ("_lock", "_reservoir", "_values", "_next", "_count", "_total", "_max")
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError("the reservoir needs at least one slot")
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._values: list[float] = []
+        self._next = 0
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            if len(self._values) < self._reservoir:
+                self._values.append(value)
+            else:
+                self._values[self._next] = value
+                self._next = (self._next + 1) % self._reservoir
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, quantile: float) -> float:
+        """The ``quantile``-th percentile (0..1) of the retained observations."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(round(quantile * (len(values) - 1))))
+        return values[index]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            values = sorted(self._values)
+            count, total, maximum = self._count, self._total, self._max
+        if not values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        p50 = values[min(len(values) - 1, int(round(0.50 * (len(values) - 1))))]
+        p99 = values[min(len(values) - 1, int(round(0.99 * (len(values) - 1))))]
+        return {
+            "count": count,
+            "mean": total / count,
+            "p50": p50,
+            "p99": p99,
+            "max": maximum,
+        }
+
+
+class LedgerSnapshot(NamedTuple):
+    """An atomically-read ``(messages, bytes)`` point of a :class:`TrafficLedger`."""
+
+    messages: int
+    bytes: int
+
+    def delta(self, base: "LedgerSnapshot") -> "LedgerSnapshot":
+        """The traffic recorded between ``base`` and this snapshot."""
+        return LedgerSnapshot(self.messages - base.messages, self.bytes - base.bytes)
+
+
+class TrafficLedger:
+    """A message/byte pair with O(1) atomic reads.
+
+    The simulated peer network and the service's socket layer both account
+    their traffic through this one class, so the ``stats`` request can
+    report simulated control-message costs and real wire bytes side by
+    side without two drifting implementations.
+    """
+
+    __slots__ = ("_lock", "_messages", "_bytes")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._messages = 0
+        self._bytes = 0
+
+    def record(self, nbytes: int, messages: int = 1) -> None:
+        with self._lock:
+            self._messages += messages
+            self._bytes += nbytes
+
+    @property
+    def messages(self) -> int:
+        with self._lock:
+            return self._messages
+
+    @property
+    def bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def snapshot(self) -> LedgerSnapshot:
+        with self._lock:
+            return LedgerSnapshot(self._messages, self._bytes)
+
+    def since(self, base: LedgerSnapshot) -> LedgerSnapshot:
+        """The traffic recorded since ``base`` (one atomic read)."""
+        return self.snapshot().delta(base)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._messages = 0
+            self._bytes = 0
+
+
+class MetricsRegistry:
+    """A named collection of counters, histograms and ledgers.
+
+    Metrics are created on first use (``counter("requests.ping")``), so
+    call sites never need registration boilerplate, and ``snapshot()``
+    returns one JSON-ready dict -- the payload of the service's ``stats``
+    request.
+    """
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._ledgers: dict[str, TrafficLedger] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str, reservoir: Optional[int] = None) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(reservoir or self._reservoir)
+            return histogram
+
+    def ledger(self, name: str) -> TrafficLedger:
+        with self._lock:
+            ledger = self._ledgers.get(name)
+            if ledger is None:
+                ledger = self._ledgers[name] = TrafficLedger()
+            return ledger
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            ledgers = dict(self._ledgers)
+        return {
+            "counters": {name: counter.value for name, counter in sorted(counters.items())},
+            "histograms": {name: hist.snapshot() for name, hist in sorted(histograms.items())},
+            "ledgers": {
+                name: {"messages": snap.messages, "bytes": snap.bytes}
+                for name, snap in sorted(
+                    (name, ledger.snapshot()) for name, ledger in ledgers.items()
+                )
+            },
+        }

@@ -1,0 +1,243 @@
+"""Clients for the validation service: async pipelined and blocking.
+
+:class:`AsyncServiceClient` keeps many requests in flight on one
+connection (responses are correlated by request id, so out-of-order
+completion is fine) -- what the load generator and high-throughput
+callers use.  :class:`ServiceClient` is the blocking convenience wrapper
+(one request on the wire at a time) for scripts, tests and the CLI.
+
+Both raise :class:`ServiceError` carrying the typed error code of the
+server's error frame (``unknown-design``, ``invalid-xml``,
+``frame-too-large``, ``shutting-down``, ...).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Mapping, Optional, Union
+
+from repro.service import protocol
+from repro.service.protocol import ServiceError
+
+__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
+
+
+def _as_bytes(payload: Union[str, bytes]) -> bytes:
+    return payload.encode("utf-8") if isinstance(payload, str) else payload
+
+
+def _schema_fields(schemas: Mapping[str, object]) -> dict:
+    """Normalise schema arguments: DTD objects become ``{start, text}``."""
+    encoded = {}
+    for function, schema in schemas.items():
+        if hasattr(schema, "describe") and hasattr(schema, "start"):
+            encoded[function] = {"start": schema.start, "text": schema.describe()}
+        else:
+            encoded[function] = schema
+    return encoded
+
+
+class _RequestMixin:
+    """The operation vocabulary, shared by both client flavours.
+
+    Subclasses provide ``_call(op, fields, blob)`` (sync or async); every
+    method here just shapes the request.  The async client's methods
+    return awaitables of the same results.
+    """
+
+    def _call(self, op: str, fields: Optional[dict] = None, blob: bytes = b""):
+        raise NotImplementedError
+
+    def ping(self):
+        return self._call("ping")
+
+    def register_design(
+        self,
+        design: str,
+        kernel: str,
+        schemas: Mapping[str, object],
+        documents: Mapping[str, str],
+        replace: bool = False,
+    ):
+        fields = {
+            "design": design,
+            "kernel": kernel,
+            "schemas": _schema_fields(schemas),
+            "documents": dict(documents),
+        }
+        if replace:
+            fields["replace"] = True
+        return self._call("register_design", fields)
+
+    def publish(self, design: str, function: str, payload: Union[str, bytes]):
+        return self._call("publish", {"design": design, "function": function}, _as_bytes(payload))
+
+    def validate(self, design: str, function: str, payload: Union[str, bytes]):
+        return self._call("validate", {"design": design, "function": function}, _as_bytes(payload))
+
+    def revalidate(self, design: str, force: bool = False):
+        fields = {"design": design}
+        if force:
+            fields["force"] = True
+        return self._call("revalidate", fields)
+
+    def stats(self):
+        return self._call("stats")
+
+    def shutdown(self):
+        return self._call("shutdown")
+
+
+class ServiceClient(_RequestMixin):
+    """Blocking client: one connection, one request at a time."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rb")
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+
+    def _call(self, op: str, fields: Optional[dict] = None, blob: bytes = b"") -> dict:
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(protocol.request_frame(request_id, op, fields, blob))
+        while True:
+            frame = protocol.read_frame_blocking(self._stream, self._max_frame_bytes)
+            if frame is None:
+                raise ServiceError("connection-closed", "the server closed the connection")
+            body, _blob, _nbytes = frame
+            if body.get("id") != request_id:
+                if body.get("ok") is False and body.get("id") is None:
+                    error = body.get("error", {})
+                    raise ServiceError(
+                        error.get("code", "unknown"), error.get("message", "server-initiated error")
+                    )
+                continue  # a stale frame; keep looking for ours
+            if body.get("ok"):
+                return body.get("result", {})
+            error = body.get("error", {})
+            raise ServiceError(error.get("code", "unknown"), error.get("message", ""))
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+class AsyncServiceClient(_RequestMixin):
+    """Pipelined asyncio client: any number of requests in flight."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="repro-client-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame_bytes)
+
+    async def _call(self, op: str, fields: Optional[dict] = None, blob: bytes = b"") -> dict:
+        if self._closed:
+            raise ServiceError("connection-closed", "the client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(protocol.request_frame(request_id, op, fields, blob))
+            await self._writer.drain()
+        except ConnectionError:
+            self._pending.pop(request_id, None)
+            raise ServiceError("connection-closed", "the connection was lost mid-request") from None
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader, self._max_frame_bytes)
+                if frame is None:
+                    self._fail_pending("connection-closed", "the server closed the connection")
+                    return
+                body, _blob, _nbytes = frame
+                request_id = body.get("id")
+                if request_id is None:
+                    # Server-initiated frame (e.g. the shutdown notice):
+                    # every in-flight request fails with its typed code.
+                    error = body.get("error", {})
+                    self._fail_pending(
+                        error.get("code", "unknown"), error.get("message", "server notice")
+                    )
+                    continue
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue
+                if body.get("ok"):
+                    future.set_result(body.get("result", {}))
+                else:
+                    error = body.get("error", {})
+                    future.set_exception(
+                        ServiceError(error.get("code", "unknown"), error.get("message", ""))
+                    )
+        except (protocol.ProtocolError, ConnectionError, asyncio.IncompleteReadError) as error:
+            self._fail_pending("connection-closed", f"transport failure: {error}")
+        except asyncio.CancelledError:
+            self._fail_pending("connection-closed", "the client was closed")
+            raise
+
+    def _fail_pending(self, code: str, message: str) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ServiceError(code, message))
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *_exc_info) -> None:
+        await self.close()

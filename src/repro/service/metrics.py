@@ -1,0 +1,69 @@
+"""Service-side metrics: one registry covering sockets, batches and latency.
+
+:class:`ServiceMetrics` wraps a :class:`~repro.metrics.MetricsRegistry`
+with the names the server records -- per-operation request counters and
+latency histograms, admission-controller batch sizes and queue depths,
+typed error counters, and inbound/outbound :class:`~repro.metrics.TrafficLedger`
+pairs.  The ledgers are the *same class* the simulated peer
+:class:`~repro.distributed.network.Network` accounts with, which is what
+keeps the service's "bytes in/out" and the runtime's "bytes shipped"
+comparable in one ``stats`` response.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import (
+    Counter,
+    Histogram,
+    LedgerSnapshot,
+    MetricsRegistry,
+    TrafficLedger,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "LedgerSnapshot",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "TrafficLedger",
+]
+
+
+class ServiceMetrics:
+    """The counters/histograms one validation server maintains."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        #: Real socket traffic (frames and their bytes), per direction.
+        self.inbound = self.registry.ledger("wire.in")
+        self.outbound = self.registry.ledger("wire.out")
+
+    # -- request accounting --------------------------------------------- #
+
+    def record_request(self, op: str, seconds: float) -> None:
+        self.registry.counter(f"requests.{op}").inc()
+        self.registry.histogram(f"latency.{op}").record(seconds * 1000.0)
+
+    def record_error(self, code: str) -> None:
+        self.registry.counter(f"errors.{code}").inc()
+
+    def record_connection(self, opened: bool) -> None:
+        self.registry.counter("connections.opened" if opened else "connections.closed").inc()
+
+    # -- admission-controller accounting -------------------------------- #
+
+    def record_batch(self, size: int, queue_depth: int, seconds: float) -> None:
+        self.registry.counter("batches").inc()
+        self.registry.counter("batched_publications").inc(size)
+        self.registry.histogram("batch.size").record(float(size))
+        self.registry.histogram("batch.queue_depth").record(float(queue_depth))
+        self.registry.histogram("batch.wall_ms").record(seconds * 1000.0)
+
+    # -- reporting ------------------------------------------------------- #
+
+    def publish_latency(self) -> Histogram:
+        return self.registry.histogram("latency.publish")
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,755 @@
+"""The asyncio validation server: validation-as-a-service over the runtime.
+
+:class:`ValidationServer` is a TCP server speaking the frame protocol of
+:mod:`repro.service.protocol`.  Each connection gets a reader loop; each
+request is answered by its own task, so a pipelined client can have many
+requests in flight on one connection.  All automaton work happens on a
+thread-pool executor -- the event loop never blocks on validation.
+
+The **admission controller** is the piece that makes ``publish`` scale:
+concurrently-pending publications are coalesced into micro-batches, each
+batch is ingested through :meth:`ValidationRuntime.publish` (so the
+byte-level fingerprint fast path applies before any parsing) and settled
+by at most one validation round.  A batch of byte-identical
+re-publications therefore costs one digest per publication and *zero*
+validation rounds -- the verdict is re-derived from cached
+acknowledgements.
+
+Shutdown is graceful: the listener closes first, queued publications are
+drained through a final batch, every still-open connection receives a
+typed ``shutting-down`` error frame, and the executor and per-design
+runtimes are joined before :meth:`ValidationServer.aclose` returns -- no
+orphan threads, no lost in-flight work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.kernel import KernelTree
+from repro.core.typing import TreeTyping
+from repro.distributed.network import DistributedDocument
+from repro.distributed.runtime.runtime import ValidationRuntime
+from repro.errors import ReproError
+from repro.schemas.dtd_text import parse_dtd_text
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+from repro.trees.document import Tree
+from repro.trees.term import parse_term
+from repro.trees.xml_io import tree_from_xml
+
+__all__ = ["OpError", "RegisteredDesign", "ValidationServer", "ServiceHandle"]
+
+#: Default ceiling on publications coalesced into one micro-batch.
+DEFAULT_MAX_BATCH = 128
+
+#: How long :meth:`ServiceHandle.close` waits for the server thread.
+_JOIN_TIMEOUT = 30.0
+
+#: The server-side name for a typed request failure: the same class the
+#: clients raise when they receive the resulting error frame.
+OpError = protocol.ServiceError
+
+
+@dataclass
+class RegisteredDesign:
+    """One design being served: its document, runtime and identifiers."""
+
+    design_id: str
+    document: DistributedDocument
+    runtime: ValidationRuntime
+
+    def close(self) -> None:
+        self.runtime.close()
+
+    def describe(self) -> dict:
+        workers, shards = (
+            self.runtime.scheduler.max_workers,
+            self.runtime.shard_map.shard_count,
+        )
+        return {
+            "design": self.design_id,
+            "peers": len(self.document.resources),
+            "workers": workers,
+            "shards": shards,
+        }
+
+
+@dataclass
+class _Publication:
+    """One queued ``publish`` awaiting its micro-batch."""
+
+    design: str
+    function: str
+    payload: bytes
+    future: asyncio.Future = field(compare=False)
+
+
+class AdmissionController:
+    """Coalesce concurrently-pending publications into micro-batches.
+
+    One loop task pulls from the queue; everything that queued up while
+    the previous batch was on the executor joins the next batch (up to
+    ``max_batch``), so burst traffic amortises validation rounds without
+    adding artificial latency.  ``batch_window`` optionally waits that
+    many seconds after the first publication of a batch to let stragglers
+    join -- zero (the default) coalesces only what is already pending.
+    """
+
+    def __init__(self, server: "ValidationServer", max_batch: int, batch_window: float) -> None:
+        self._server = server
+        self.max_batch = max(1, max_batch)
+        self.batch_window = batch_window
+        #: ``None`` is the drain sentinel appended once at shutdown.
+        self._queue: asyncio.Queue[Optional[_Publication]] = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._loop(), name="repro-admission")
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    async def submit(self, item: _Publication) -> dict:
+        """Queue one publication and await its batch's verdict."""
+        if self._stopping:
+            raise OpError("shutting-down", "the server is shutting down")
+        self._queue.put_nowait(item)
+        return await item.future
+
+    async def _loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:  # the drain sentinel
+                return
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            batch = [item]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:
+                    self._queue.put_nowait(None)  # keep the sentinel for the next spin
+                    break
+                batch.append(extra)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Publication]) -> None:
+        depth = self._queue.qsize()
+        started = time.perf_counter()
+        try:
+            async with self._server.runtime_lock:
+                settled = await self._server.run_in_executor(
+                    self._server.execute_publications, batch
+                )
+        except BaseException as error:  # never strand a future
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(
+                        OpError("internal-error", f"batch execution failed: {error}")
+                    )
+            return
+        finally:
+            self._server.metrics.record_batch(
+                len(batch), depth, time.perf_counter() - started
+            )
+        for item, outcome in settled:
+            if item.future.done():
+                continue
+            if isinstance(outcome, OpError):
+                item.future.set_exception(outcome)
+            else:
+                item.future.set_result(outcome)
+
+    async def drain(self) -> None:
+        """Refuse new work, settle everything queued, stop the loop.
+
+        Robust against being called on a different event loop than the one
+        the controller ran on (the CLI's last-resort close path): a loop
+        task that died with its loop is treated as already stopped, and
+        whatever is still queued gets a typed error instead of silence.
+        """
+        self._stopping = True
+        task = self._task
+        if task is not None and not task.done():
+            self._queue.put_nowait(None)
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        while not self._queue.empty():
+            leftover = self._queue.get_nowait()
+            if leftover is not None and not leftover.future.done():
+                leftover.future.set_exception(
+                    OpError("shutting-down", "the server is shutting down")
+                )
+
+
+class ValidationServer:
+    """An asyncio TCP server exposing the distributed-validation runtime."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_window: float = 0.0,
+        executor_workers: int = 2,
+        runtime_workers: int = 4,
+        runtime_shards: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.runtime_workers = runtime_workers
+        self.runtime_shards = runtime_shards
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(self, max_batch, batch_window)
+        #: Serialises every executor call that mutates a runtime (batches,
+        #: revalidation, registration) -- runtimes are not reentrant.
+        self.runtime_lock = asyncio.Lock()
+        self._designs: dict[str, RegisteredDesign] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, executor_workers), thread_name_prefix="repro-service"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set["_Connection"] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._shutdown_event = asyncio.Event()
+        self._closing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the listener (resolving an ephemeral port) and start serving."""
+        self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self.admission.start()
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`request_shutdown`)."""
+        await self._shutdown_event.wait()
+        await self.aclose()
+
+    def request_shutdown(self) -> None:
+        """Trigger a graceful shutdown (thread-unsafe; see ServiceHandle)."""
+        self._shutdown_event.set()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: drain, notify, join every thread."""
+        if self._closed:
+            return
+        self._closing = True
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Settle queued publications before anything is torn down.
+        await self.admission.drain()
+        if self._request_tasks:
+            await asyncio.gather(*self._request_tasks, return_exceptions=True)
+        # Every still-open connection learns the server is going away.
+        for connection in list(self._connections):
+            await connection.send_safely(
+                protocol.error_frame(None, "shutting-down", "the server is shutting down")
+            )
+            connection.close()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(self._conn_tasks, timeout=5.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        for entry in self._designs.values():
+            entry.close()
+
+    def close_threads(self) -> None:
+        """Best-effort synchronous cleanup when the event loop is already gone.
+
+        The last-resort path (e.g. a KeyboardInterrupt on a platform without
+        loop signal handlers): connections and queued work are beyond help,
+        but the executor and per-design runtime pools can still be joined so
+        the process exits without orphan threads.
+        """
+        self._closing = True
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        for entry in self._designs.values():
+            entry.close()
+
+    async def run_in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # design registry
+    # ------------------------------------------------------------------ #
+
+    def build_design(
+        self,
+        design_id: str,
+        kernel: KernelTree,
+        typing: TreeTyping,
+        documents: Mapping[str, Tree],
+    ) -> RegisteredDesign:
+        """Compile a design into a runtime (registry untouched, executor-safe)."""
+        document = DistributedDocument(kernel, dict(documents))
+        runtime = ValidationRuntime(
+            document, max_workers=self.runtime_workers, shards=self.runtime_shards
+        )
+        try:
+            runtime.propagate_typing(typing)
+            runtime.validate_locally()
+        except BaseException:
+            runtime.close()
+            raise
+        return RegisteredDesign(design_id, document, runtime)
+
+    def install_design(self, entry: RegisteredDesign) -> RegisteredDesign:
+        """Put a built design into the registry, closing any predecessor.
+
+        The registry is only ever mutated here, and only from the event
+        loop thread (or before :meth:`start`) -- ``stats``/``ping`` iterate
+        it on the loop without a lock.
+        """
+        previous = self._designs.get(entry.design_id)
+        self._designs[entry.design_id] = entry
+        if previous is not None:
+            previous.close()
+        return entry
+
+    def preload_design(
+        self,
+        design_id: str,
+        kernel: KernelTree,
+        typing: TreeTyping,
+        documents: Mapping[str, Tree],
+    ) -> RegisteredDesign:
+        """Register a design from in-process objects (no wire round-trip).
+
+        Used by :func:`repro.api.serve_design` and the benchmarks to boot a
+        server with a design already installed; the wire path is
+        ``register_design``.  Call before :meth:`start`.
+        """
+        return self.install_design(self.build_design(design_id, kernel, typing, documents))
+
+    def design(self, design_id) -> RegisteredDesign:
+        entry = self._designs.get(design_id)
+        if entry is None:
+            raise OpError("unknown-design", f"no design registered under {design_id!r}")
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        connection = _Connection(self, writer)
+        self._connections.add(connection)
+        self._conn_tasks.add(asyncio.current_task())
+        self.metrics.record_connection(True)
+        try:
+            await self._read_loop(connection, reader)
+        finally:
+            self._connections.discard(connection)
+            task = asyncio.current_task()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self.metrics.record_connection(False)
+            connection.close()
+
+    async def _read_loop(self, connection: "_Connection", reader: asyncio.StreamReader):
+        while True:
+            try:
+                frame = await protocol.read_frame(reader, self.max_frame_bytes)
+            except protocol.ProtocolError as error:
+                # Typed error frame for every malformed input; only errors
+                # that desynchronise the stream also close the connection.
+                self.metrics.record_error(error.code)
+                await connection.send_safely(protocol.error_frame(None, error.code, error.message))
+                if error.recoverable:
+                    continue
+                return
+            except (ConnectionError, asyncio.CancelledError):
+                return
+            if frame is None:
+                return  # clean EOF
+            body, blob, nbytes = frame
+            self.metrics.inbound.record(nbytes)
+            task = asyncio.get_running_loop().create_task(self._answer(connection, body, blob))
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+
+    async def _answer(self, connection: "_Connection", body: dict, blob: bytes) -> None:
+        raw_id = body.get("id")
+        request_id = raw_id if isinstance(raw_id, int) else None
+        op = body.get("op")
+        started = time.perf_counter()
+        try:
+            if self._closing:
+                raise OpError("shutting-down", "the server is shutting down")
+            if not isinstance(op, str) or op not in protocol.OPERATIONS:
+                raise OpError("unknown-op", f"unknown operation {op!r}")
+            missing = [name for name in protocol.OPERATIONS[op] if name not in body]
+            if missing:
+                raise OpError("bad-request", f"operation {op!r} is missing field(s) {missing}")
+            result = await self._execute(op, body, blob)
+        except OpError as error:
+            self.metrics.record_error(error.code)
+            await connection.send_safely(protocol.error_frame(request_id, error.code, error.message))
+            return
+        except Exception as error:  # a bug, not a protocol situation -- still typed
+            self.metrics.record_error("internal-error")
+            await connection.send_safely(
+                protocol.error_frame(request_id, "internal-error", f"{type(error).__name__}: {error}")
+            )
+            return
+        self.metrics.record_request(op, time.perf_counter() - started)
+        await connection.send_safely(protocol.result_frame(request_id, result))
+        if op == "shutdown":
+            # After the acknowledgement is on the wire, let serve_forever
+            # run the graceful close.
+            self._shutdown_event.set()
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    async def _execute(self, op: str, body: dict, blob: bytes) -> dict:
+        if op == "ping":
+            return {
+                "pong": True,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "designs": sorted(self._designs),
+            }
+        if op == "shutdown":
+            return {"stopping": True}
+        if op == "stats":
+            return self._stats()
+        if op == "register_design":
+            return await self._register(body)
+        if op == "publish":
+            return await self._publish(body, blob)
+        if op == "validate":
+            return await self._validate(body, blob)
+        if op == "revalidate":
+            return await self._revalidate(body)
+        raise OpError("unknown-op", f"unknown operation {op!r}")  # pragma: no cover
+
+    def _stats(self) -> dict:
+        designs = {}
+        for design_id, entry in self._designs.items():
+            snapshot = entry.document.network.snapshot()
+            designs[design_id] = {
+                **entry.describe(),
+                "runtime": entry.runtime.stats.snapshot(),
+                "engine": entry.runtime.engine_stats(),
+                "network": {"messages": snapshot.messages, "bytes": snapshot.bytes},
+                "acks": entry.runtime.peer_acks(),
+            }
+        return {
+            "service": self.metrics.snapshot(),
+            "queue_depth": self.admission.queue_depth,
+            "designs": designs,
+        }
+
+    async def _register(self, body: dict) -> dict:
+        design_id = body["design"]
+        if not isinstance(design_id, str) or not design_id:
+            raise OpError("bad-request", "'design' must be a non-empty string")
+        if design_id in self._designs and not body.get("replace", False):
+            raise OpError(
+                "design-exists", f"design {design_id!r} is already registered (pass replace)"
+            )
+        schemas = body["schemas"]
+        documents = body["documents"]
+        if not isinstance(schemas, dict) or not isinstance(documents, dict):
+            raise OpError("bad-request", "'schemas' and 'documents' must be objects")
+
+        def build() -> RegisteredDesign:
+            try:
+                kernel = KernelTree(parse_term(body["kernel"]))
+                types = {}
+                for function, schema in schemas.items():
+                    if isinstance(schema, dict):
+                        types[function] = parse_dtd_text(
+                            schema.get("text", ""), start=schema.get("start")
+                        )
+                    else:
+                        types[function] = parse_dtd_text(schema)
+                docs = {}
+                for function, xml in documents.items():
+                    try:
+                        docs[function] = tree_from_xml(xml)
+                    except SyntaxError as error:
+                        raise OpError(
+                            "invalid-xml", f"initial document for {function!r}: {error}"
+                        ) from None
+                return self.build_design(design_id, kernel, TreeTyping(types), docs)
+            except OpError:
+                raise
+            except ReproError as error:
+                raise OpError("bad-request", str(error)) from None
+
+        async with self.runtime_lock:
+            # Compile off the loop; mutate the registry back on it.
+            entry = await self.run_in_executor(build)
+            self.install_design(entry)
+        verdict = entry.runtime.current_verdict()
+        return {**entry.describe(), "valid": verdict}
+
+    async def _publish(self, body: dict, blob: bytes) -> dict:
+        design_id, function = body["design"], body["function"]
+        payload = blob if blob else str(body.get("payload", "")).encode("utf-8")
+        if not payload:
+            raise OpError("bad-request", "publish carries no payload bytes")
+        self.design(design_id)  # fail fast before queueing
+        future = asyncio.get_running_loop().create_future()
+        return await self.admission.submit(_Publication(design_id, function, payload, future))
+
+    def execute_publications(self, batch: list[_Publication]) -> list[tuple[_Publication, object]]:
+        """Ingest one micro-batch and settle it with as few rounds as possible.
+
+        Runs on the executor with :attr:`runtime_lock` held.  Per design:
+        every payload goes through the runtime's wire ingest (hash before
+        parse), then a single validation round settles all dirty peers at
+        once; if *every* publication was byte-identical to validated
+        content the round is skipped entirely and the verdict comes from
+        cached acknowledgements.  A function appearing twice in one batch
+        splits it into segments -- the runtime keeps only the latest
+        pending payload per function, so each occurrence must be settled
+        by its own round to get its own parse/verdict.
+        """
+        settled: list[tuple[_Publication, object]] = []
+        by_design: dict[str, list[_Publication]] = {}
+        for item in batch:
+            by_design.setdefault(item.design, []).append(item)
+        for design_id, group in by_design.items():
+            entry = self._designs.get(design_id)
+            if entry is None:
+                error = OpError("unknown-design", f"no design registered under {design_id!r}")
+                settled.extend((item, error) for item in group)
+                continue
+            segment: list[_Publication] = []
+            seen: set[str] = set()
+            for item in group:
+                if item.function in seen:
+                    self._settle_segment(entry, segment, settled)
+                    segment, seen = [], set()
+                segment.append(item)
+                seen.add(item.function)
+            self._settle_segment(entry, segment, settled)
+        return settled
+
+    def _settle_segment(
+        self,
+        entry: RegisteredDesign,
+        segment: list[_Publication],
+        settled: list[tuple[_Publication, object]],
+    ) -> None:
+        """Ingest one per-function-unique run of publications and settle it."""
+        admitted: list[tuple[_Publication, bool]] = []
+        for item in segment:
+            try:
+                clean = entry.runtime.publish(item.function, item.payload)
+            except ReproError as error:
+                settled.append((item, OpError("unknown-function", str(error))))
+                continue
+            admitted.append((item, clean))
+        if not admitted:
+            return
+        verdict = entry.runtime.current_verdict()
+        parse_failures: frozenset[str] = frozenset()
+        validated = 0
+        if verdict is None:
+            report = entry.runtime.validate_locally()
+            verdict = report.valid
+            parse_failures = frozenset(report.parse_failures)
+            validated = report.peers_validated
+        acks = entry.runtime.peer_acks()
+        for item, clean in admitted:
+            if item.function in parse_failures:
+                settled.append(
+                    (item, OpError("invalid-xml", f"payload for {item.function!r} is not XML"))
+                )
+                continue
+            settled.append(
+                (
+                    item,
+                    {
+                        "design": entry.design_id,
+                        "clean": clean,
+                        "function": item.function,
+                        "valid": verdict,
+                        "peer_valid": acks.get(item.function),
+                        "peers_validated": validated,
+                    },
+                )
+            )
+
+    async def _validate(self, body: dict, blob: bytes) -> dict:
+        """Stateless validation of a payload against one peer's local type."""
+        entry = self.design(body["design"])
+        function = body["function"]
+        peer = entry.document.resources.get(function)
+        if peer is None:
+            raise OpError("unknown-function", f"no resource peer serves function {function!r}")
+        if peer.validator is None:  # pragma: no cover - registration always propagates
+            raise OpError("bad-request", f"no local type propagated to {function!r}")
+        payload = blob if blob else str(body.get("payload", "")).encode("utf-8")
+
+        def check() -> dict:
+            try:
+                document = tree_from_xml(payload)
+            except SyntaxError as error:
+                raise OpError("invalid-xml", f"payload for {function!r}: {error}") from None
+            return {
+                "design": entry.design_id,
+                "function": function,
+                "valid": peer.validator.validate(document),
+            }
+
+        # Read-only on a compiled validator: no runtime lock needed.
+        return await self.run_in_executor(check)
+
+    async def _revalidate(self, body: dict) -> dict:
+        entry = self.design(body["design"])
+        force = bool(body.get("force", False))
+
+        def run() -> dict:
+            report = entry.runtime.validate_locally(force=force)
+            return {
+                "design": entry.design_id,
+                "valid": report.valid,
+                "peers_validated": report.peers_validated,
+                "peers_skipped": report.peers_skipped,
+                "messages": report.messages,
+                "bytes_shipped": report.bytes_shipped,
+                "wall_ms": report.wall_seconds * 1000.0,
+                "parse_failures": list(report.parse_failures),
+            }
+
+        async with self.runtime_lock:
+            return await self.run_in_executor(run)
+
+
+class _Connection:
+    """One accepted socket: a writer plus its write lock and accounting."""
+
+    __slots__ = ("_server", "_writer", "_lock")
+
+    def __init__(self, server: ValidationServer, writer: asyncio.StreamWriter) -> None:
+        self._server = server
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    async def send_safely(self, frame: bytes) -> None:
+        """Write one frame; a peer that vanished is not an error."""
+        try:
+            async with self._lock:
+                if self._writer.is_closing():
+                    return
+                self._writer.write(frame)
+                await self._writer.drain()
+            self._server.metrics.outbound.record(len(frame))
+        except (ConnectionError, RuntimeError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except RuntimeError:  # event loop already gone
+            pass
+
+
+class ServiceHandle:
+    """A server running on its own thread and event loop.
+
+    What the blocking world (tests, benchmarks, ``api.serve_design``) uses
+    to get a live endpoint: ``start()`` returns once the port is bound,
+    ``close()`` performs the full graceful shutdown and joins the thread.
+    """
+
+    def __init__(self, server: ValidationServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started: "threading.Event" = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServiceHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(_JOIN_TIMEOUT)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise TimeoutError("the service loop did not come up in time")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - surfaced via start()
+            if not self._started.is_set():
+                self._startup_error = error
+                self._started.set()
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._startup_error = error
+            try:
+                # Joins the executor and any preloaded design runtimes, so a
+                # failed bind leaks nothing into the caller's process.
+                await self.server.aclose()
+            except BaseException:  # pragma: no cover - cleanup best effort
+                pass
+            self._started.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._started.set()
+        await self.server.serve_forever()
+
+    def close(self) -> None:
+        """Graceful shutdown from any thread; joins the loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        if thread is not None:
+            thread.join(_JOIN_TIMEOUT)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

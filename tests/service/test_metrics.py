@@ -1,0 +1,139 @@
+"""The shared counter/histogram/ledger implementation and its two users."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.distributed.network import DistributedDocument
+from repro.metrics import Counter, Histogram, LedgerSnapshot, MetricsRegistry, TrafficLedger
+from repro.service.metrics import ServiceMetrics
+from repro.workloads.synthetic import distributed_workload
+
+
+class TestCounter:
+    def test_counts(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def spin():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.count == 100
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+        assert 45.0 <= histogram.percentile(0.5) <= 55.0
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 100 and snapshot["max"] == 100.0
+        assert snapshot["p50"] <= snapshot["p99"] <= snapshot["max"]
+
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.snapshot() == {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_reservoir_wraps_but_totals_stay_exact(self):
+        histogram = Histogram(reservoir=8)
+        for value in range(100):
+            histogram.record(float(value))
+        assert histogram.count == 100
+        # Only the most recent 8 observations are retained for percentiles.
+        assert histogram.percentile(0.0) >= 92.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir=0)
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+
+class TestTrafficLedger:
+    def test_record_and_snapshot(self):
+        ledger = TrafficLedger()
+        ledger.record(100)
+        ledger.record(50, messages=2)
+        assert ledger.snapshot() == LedgerSnapshot(3, 150)
+        assert ledger.messages == 3 and ledger.bytes == 150
+
+    def test_since_window(self):
+        ledger = TrafficLedger()
+        ledger.record(10)
+        base = ledger.snapshot()
+        ledger.record(32)
+        ledger.record(8)
+        assert ledger.since(base) == LedgerSnapshot(2, 40)
+
+    def test_reset(self):
+        ledger = TrafficLedger()
+        ledger.record(10)
+        ledger.reset()
+        assert ledger.snapshot() == LedgerSnapshot(0, 0)
+
+
+class TestRegistry:
+    def test_metrics_created_on_first_use_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("requests.ping").inc()
+        registry.counter("requests.ping").inc()
+        registry.histogram("latency").record(2.0)
+        registry.ledger("wire.in").record(64)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests.ping": 2}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert snapshot["ledgers"]["wire.in"] == {"messages": 1, "bytes": 64}
+
+    def test_service_metrics_names(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("publish", 0.002)
+        metrics.record_error("bad-json")
+        metrics.record_batch(8, 3, 0.001)
+        metrics.inbound.record(128)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["requests.publish"] == 1
+        assert snapshot["counters"]["errors.bad-json"] == 1
+        assert snapshot["counters"]["batched_publications"] == 8
+        assert snapshot["histograms"]["batch.size"]["max"] == 8.0
+        assert snapshot["ledgers"]["wire.in"]["bytes"] == 128
+
+
+class TestNetworkUnification:
+    """The simulated peer network accounts through the same ledger class."""
+
+    def test_network_ledger_is_a_traffic_ledger(self):
+        workload = distributed_workload(peers=3, documents=3)
+        document = DistributedDocument(workload.kernel, dict(workload.initial_documents))
+        assert isinstance(document.network.ledger, TrafficLedger)
+        base = document.network.ledger.snapshot()
+        document.validate_locally(workload.typing)
+        window = document.network.ledger.since(base)
+        assert window.messages == document.network.message_count
+        assert window.bytes == document.network.bytes_shipped
+        assert window.messages == len(document.network.log)
+
+    def test_network_reset_clears_ledger_and_log(self):
+        workload = distributed_workload(peers=2, documents=2)
+        document = DistributedDocument(workload.kernel, dict(workload.initial_documents))
+        document.validate_locally(workload.typing)
+        document.network.reset()
+        assert document.network.snapshot() == LedgerSnapshot(0, 0)
+        assert document.network.log == []

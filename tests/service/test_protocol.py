@@ -1,0 +1,128 @@
+"""Frame-level tests for the service wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import struct
+
+import pytest
+
+from repro.service import protocol
+
+
+def frame_bytes(body: dict, blob: bytes = b"", version: int = protocol.PROTOCOL_VERSION) -> bytes:
+    return protocol.encode_frame(body, blob, version)
+
+
+def read_blocking(data: bytes, max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+    return protocol.read_frame_blocking(io.BytesIO(data), max_frame_bytes)
+
+
+def read_async(data: bytes, max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_frame(reader, max_frame_bytes)
+
+    return asyncio.run(run())
+
+
+class TestRoundTrip:
+    def test_body_and_blob_survive(self):
+        payload = b"<root_f1><record/></root_f1>"
+        data = frame_bytes({"op": "publish", "id": 7}, payload)
+        body, blob, nbytes = read_blocking(data)
+        assert body == {"op": "publish", "id": 7}
+        assert blob == payload
+        assert nbytes == len(data)
+
+    def test_async_and_blocking_readers_agree(self):
+        data = frame_bytes({"op": "ping", "id": 1})
+        assert read_async(data) == read_blocking(data)
+
+    def test_clean_eof_returns_none(self):
+        assert read_blocking(b"") is None
+        assert read_async(b"") is None
+
+    def test_two_frames_back_to_back(self):
+        stream = io.BytesIO(frame_bytes({"id": 1}) + frame_bytes({"id": 2}, b"x"))
+        first = protocol.read_frame_blocking(stream)
+        second = protocol.read_frame_blocking(stream)
+        assert first[0]["id"] == 1 and second[0]["id"] == 2 and second[1] == b"x"
+
+    def test_helper_frames_are_parseable(self):
+        body, _blob, _n = read_blocking(protocol.error_frame(3, "bad-request", "nope"))
+        assert body == {"id": 3, "ok": False, "error": {"code": "bad-request", "message": "nope"}}
+        body, _blob, _n = read_blocking(protocol.result_frame(4, {"pong": True}))
+        assert body == {"id": 4, "ok": True, "result": {"pong": True}}
+        body, blob, _n = read_blocking(protocol.request_frame(5, "publish", {"design": "d"}, b"<x/>"))
+        assert body == {"id": 5, "op": "publish", "design": "d"} and blob == b"<x/>"
+
+
+class TestMalformedFrames:
+    def test_bad_magic_is_fatal(self):
+        data = b"XXXX" + frame_bytes({"id": 1})[4:]
+        with pytest.raises(protocol.BadMagicError) as excinfo:
+            read_blocking(data)
+        assert not excinfo.value.recoverable
+        assert excinfo.value.code == "bad-magic"
+
+    def test_unsupported_version_is_recoverable_and_drains(self):
+        stream = io.BytesIO(frame_bytes({"id": 1}, b"blob", version=9) + frame_bytes({"id": 2}))
+        with pytest.raises(protocol.UnsupportedVersionError) as excinfo:
+            protocol.read_frame_blocking(stream)
+        assert excinfo.value.recoverable
+        # The stream is still framed: the next frame parses.
+        body, _blob, _n = protocol.read_frame_blocking(stream)
+        assert body["id"] == 2
+
+    def test_oversized_frame_is_recoverable_and_drains(self):
+        big = frame_bytes({"id": 1}, b"y" * 4096)
+        stream = io.BytesIO(big + frame_bytes({"id": 2}))
+        with pytest.raises(protocol.FrameTooLargeError) as excinfo:
+            protocol.read_frame_blocking(stream, max_frame_bytes=256)
+        assert excinfo.value.recoverable
+        body, _blob, _n = protocol.read_frame_blocking(stream, max_frame_bytes=256)
+        assert body["id"] == 2
+
+    def test_oversized_check_runs_before_version_check(self):
+        # A frame that is both oversized and future-versioned must drain
+        # correctly -- the declared lengths are what matter.
+        data = frame_bytes({"id": 1}, b"y" * 4096, version=9) + frame_bytes({"id": 2})
+        stream = io.BytesIO(data)
+        with pytest.raises(protocol.FrameTooLargeError):
+            protocol.read_frame_blocking(stream, max_frame_bytes=256)
+        assert protocol.read_frame_blocking(stream, max_frame_bytes=256)[0]["id"] == 2
+
+    def test_undecodable_json_is_recoverable(self):
+        raw = struct.pack("!4sBII", protocol.MAGIC, protocol.PROTOCOL_VERSION, 4, 0) + b"\xff\xfe{]"
+        stream = io.BytesIO(raw + frame_bytes({"id": 2}))
+        with pytest.raises(protocol.BadJsonError):
+            protocol.read_frame_blocking(stream)
+        assert protocol.read_frame_blocking(stream)[0]["id"] == 2
+
+    def test_non_object_json_body_rejected(self):
+        encoded = b"[1, 2]"
+        raw = struct.pack("!4sBII", protocol.MAGIC, protocol.PROTOCOL_VERSION, len(encoded), 0)
+        with pytest.raises(protocol.BadJsonError):
+            read_blocking(raw + encoded)
+
+    def test_truncated_header_is_fatal(self):
+        with pytest.raises(protocol.TruncatedFrameError) as excinfo:
+            read_blocking(frame_bytes({"id": 1})[:5])
+        assert not excinfo.value.recoverable
+
+    def test_truncated_body_is_fatal(self):
+        data = frame_bytes({"id": 1}, b"payload")
+        with pytest.raises(protocol.TruncatedFrameError):
+            read_blocking(data[:-3])
+
+    def test_async_reader_raises_the_same_typed_errors(self):
+        with pytest.raises(protocol.BadMagicError):
+            read_async(b"XXXX" + frame_bytes({"id": 1})[4:])
+        with pytest.raises(protocol.TruncatedFrameError):
+            read_async(frame_bytes({"id": 1})[:-2])
+        with pytest.raises(protocol.FrameTooLargeError):
+            read_async(frame_bytes({"id": 1}, b"y" * 4096), max_frame_bytes=64)

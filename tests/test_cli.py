@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -102,6 +105,138 @@ class TestValidate:
     def test_missing_file_is_reported(self, schema_file, capsys):
         assert main(["validate", "--schema", str(schema_file), "--document", "missing.xml"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestDistributed:
+    def test_summary_output(self, capsys):
+        exit_code = main(["distributed", "--peers", "3", "--documents", "9", "--workers", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serial" in output and "runtime" in output
+        assert "verdicts agree across strategies: True" in output
+
+    def test_json_output_is_machine_readable(self, capsys):
+        exit_code = main(
+            ["distributed", "--peers", "3", "--documents", "9", "--workers", "2", "--json"]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["peers"] == 3 and report["verdicts_agree"] is True
+        strategies = {outcome["strategy"] for outcome in report["outcomes"]}
+        assert strategies == {"serial", "runtime"}
+        for outcome in report["outcomes"]:
+            assert outcome["rounds"] == 7
+            assert len(outcome["verdicts"]) == 7
+
+
+class TestServe:
+    def test_serve_round_trip_and_graceful_shutdown(self, tmp_path):
+        from repro.service.client import ServiceClient
+
+        port_file = tmp_path / "svc.port"
+        outcome: dict = {}
+
+        def run():
+            outcome["code"] = main(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--port-file",
+                    str(port_file),
+                    "--preload-peers",
+                    "3",
+                    "--shutdown-after",
+                    "30",
+                    "--json",
+                ]
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while not port_file.exists() and time.time() < deadline:
+            time.sleep(0.02)
+        port = int(port_file.read_text(encoding="utf-8"))
+        with ServiceClient("127.0.0.1", port) as client:
+            assert client.ping()["designs"] == ["workload"]
+            assert client.revalidate("workload")["valid"] is True
+            assert client.shutdown() == {"stopping": True}
+        thread.join(15)
+        assert not thread.is_alive()
+        assert outcome["code"] == 0
+
+    def test_serve_sigint_shuts_down_gracefully(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        port_file = tmp_path / "svc.port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--port-file", str(port_file), "--preload-peers", "2"],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 20
+            while not port_file.exists() and time.time() < deadline:
+                time.sleep(0.05)
+            assert port_file.exists()
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=20) == 0
+            assert "validation service stopped" in proc.stdout.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+class TestBenchServe:
+    def test_bench_serve_json_report(self, capsys):
+        exit_code = main(
+            [
+                "bench-serve",
+                "--peers",
+                "3",
+                "--documents",
+                "9",
+                "--clients",
+                "2",
+                "--invalid-rate",
+                "0",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["publications"] == 21  # 7 rounds x 3 peers
+        assert report["errors"] == 0
+        assert report["final_valid"] is True
+        assert report["throughput_per_s"] > 0
+
+    def test_bench_serve_open_loop_summary(self, capsys):
+        exit_code = main(
+            [
+                "bench-serve",
+                "--peers",
+                "2",
+                "--documents",
+                "4",
+                "--mode",
+                "open",
+                "--rate",
+                "2000",
+                "--invalid-rate",
+                "0",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "open-loop:" in output and "publications" in output
 
 
 class TestStats:
