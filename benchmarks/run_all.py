@@ -116,6 +116,84 @@ def _scenario_fig7_build(k: int, functions: int):
     return run, sizes
 
 
+def _publication_pairs(peers: int, documents: int):
+    """The driver's publication stream as ``(function, payload-bytes)`` pairs."""
+    from repro.service.loadgen import publication_stream
+    from repro.workloads import synthetic
+
+    workload = synthetic.distributed_workload(
+        peers=peers, documents=documents, seed=0, invalid_rate=0.05
+    )
+    return workload, [(f, p.encode("utf-8")) for f, p in publication_stream(workload)]
+
+
+def _scenario_local_validation(peers: int, documents: int):
+    """The tree-based per-publication path: parse to Tree, validate bottom-up.
+
+    The PR 1 "local validation" baseline at wire granularity -- every
+    payload arrives as bytes and is parsed before the compiled-schema run
+    loop sees it.  The ``peak_kib`` extra records the tree path's peak
+    allocation on the stream's largest document (what streaming avoids).
+    """
+    import tracemalloc
+
+    from repro.engine import BatchValidator
+    from repro.trees.xml_io import tree_from_xml
+
+    workload, pairs = _publication_pairs(peers, documents)
+    validators = {f: BatchValidator(workload.typing[f]) for f in workload.initial_documents}
+    sizes = {"peers": peers, "documents": documents, "publications": len(pairs)}
+    _function, largest = max(pairs, key=lambda item: len(item[1]))
+    tracemalloc.start()
+    tree_from_xml(largest)
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    extras = {"peak_kib": round(peak / 1024, 1)}
+
+    def run():
+        for function, payload in pairs:
+            validators[function].validate(tree_from_xml(payload))
+        return extras
+
+    return run, sizes
+
+
+def _scenario_streaming_validate(peers: int, documents: int):
+    """Event-driven validation of the same stream: wire bytes to verdict.
+
+    Extras record the subsystem's memory story next to its wall-clock:
+    peak allocation on the largest document (chunk-fed) and the stream's
+    maximum document depth -- the O(depth) bound's two witnesses.
+    """
+    import tracemalloc
+
+    from repro.streaming import StreamingValidator, XMLEventSource
+
+    workload, pairs = _publication_pairs(peers, documents)
+    machines = {f: StreamingValidator(workload.typing[f]) for f in workload.initial_documents}
+    sizes = {"peers": peers, "documents": documents, "publications": len(pairs)}
+    function, largest = max(pairs, key=lambda item: len(item[1]))
+    max_depth = 0
+    for probe_function, payload in pairs[: len(workload.initial_documents)]:
+        run_probe = machines[probe_function].run()
+        source = XMLEventSource()
+        source.pump(payload, run_probe)
+        run_probe.consume(source.close())
+        max_depth = max(max_depth, run_probe.max_depth)
+    tracemalloc.start()
+    machines[function].validate_payload(largest, chunk_bytes=8192)
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    extras = {"peak_kib": round(peak / 1024, 1), "max_doc_depth": max_depth}
+
+    def run():
+        for pair_function, payload in pairs:
+            machines[pair_function].validate_payload(payload)
+        return extras
+
+    return run, sizes
+
+
 #: Teardown callbacks registered by scenarios that hold live resources
 #: (service handles, client sockets); run once after all timing is done.
 _CLEANUPS: list = []
@@ -265,6 +343,10 @@ def _scenarios(smoke: bool):
     for k, functions in fig7_cases:
         yield f"fig7_perfect_automaton_{k}_{functions}", _scenario_fig7_build(k, functions)
     documents = 24 if smoke else 40
+    yield "local_validation_8", _scenario_local_validation(8, documents)
+    yield "streaming_validate_8", _scenario_streaming_validate(8, documents)
+    if not smoke:
+        yield "streaming_validate_100", _scenario_streaming_validate(100, 110)
     for strategy in ("serial", "runtime"):
         yield (
             f"distributed_workload_{strategy}_8",
@@ -406,6 +488,12 @@ def main(argv=None) -> int:
         speedup = round(serial["mean_ms"] / max(runtime["mean_ms"], 1e-6), 2)
         runtime["speedup_vs_serial"] = speedup
         print(f"\ndistributed runtime speedup vs serial (8 peers): {speedup}x")
+    tree_path = results.get("local_validation_8")
+    streaming = results.get("streaming_validate_8")
+    if tree_path and streaming:
+        speedup = round(tree_path["mean_ms"] / max(streaming["mean_ms"], 1e-6), 2)
+        streaming["speedup_vs_tree"] = speedup
+        print(f"streaming validation speedup vs tree path (8 peers): {speedup}x")
     payload = {
         "git_sha": _git_sha(),
         "smoke": args.smoke,

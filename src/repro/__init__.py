@@ -38,7 +38,9 @@ _API_EXPORTS = (
     "top_down_design",
     "tree",
     "use_engine",
+    "validate_stream",
     "ServiceHandle",
+    "StreamingValidator",
     "ValidationRuntime",
     "WorkloadReport",
 )

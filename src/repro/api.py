@@ -40,6 +40,7 @@ from repro.engine import (
     use_engine,
 )
 from repro.service.server import ServiceHandle, ValidationServer
+from repro.streaming import StreamingValidator, streaming_validator_for
 from repro.trees.document import Tree
 from repro.trees.term import parse_term
 from repro.workloads.synthetic import distributed_workload
@@ -58,9 +59,11 @@ __all__ = [
     "analyze_design",
     "run_distributed_workload",
     "serve_design",
+    "validate_stream",
     "BatchValidator",
     "CompilationEngine",
     "ServiceHandle",
+    "StreamingValidator",
     "ValidationRuntime",
     "WorkloadReport",
     "get_default_engine",
@@ -229,6 +232,35 @@ def run_distributed_workload(
     )
     driver = WorkloadDriver(workload, max_workers=workers, shards=shards, backend=backend)
     return driver.run(strategies)
+
+
+def validate_stream(
+    schema: SchemaType,
+    payload,
+    engine: Optional[CompilationEngine] = None,
+    chunk_bytes: int = 65536,
+) -> bool:
+    """Validate serialised XML against a schema without materialising a tree.
+
+    The event-driven twin of ``BatchValidator(schema).validate(tree)``:
+    ``payload`` may be a whole document (``str``/``bytes``) or any iterable
+    of chunks, and the verdict is identical to the tree-based path for
+    every schema kind (DTD / SDTD / EDTD) while working memory stays
+    O(document depth) -- deep or wide documents never build per-node
+    structure.  Malformed input raises
+    :class:`~repro.errors.InvalidXMLError`.
+
+    >>> from repro import dtd, validate_stream
+    >>> schema = dtd("r", {"r": "a*"})
+    >>> validate_stream(schema, "<r><a/><a/></r>")
+    True
+    >>> validate_stream(schema, b"<r><b/></r>")
+    False
+    """
+    validator = streaming_validator_for(schema, engine)
+    if isinstance(payload, (str, bytes)):
+        return validator.validate_payload(payload, chunk_bytes)
+    return validator.validate_chunks(payload)
 
 
 def serve_design(

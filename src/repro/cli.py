@@ -9,7 +9,11 @@ designer's tool:
 * ``repro-design bottomup --kernel "s(f1 f2)" --type f1=t1.dtd --type f2=t2.dtd`` —
   decide ``cons[S]`` for every schema language and print ``typeT(τn)``;
 * ``repro-design validate --schema schema.dtd --document doc.xml`` —
-  plain validation of an XML document;
+  plain validation of an XML document (``--stream`` validates event-driven
+  from the raw bytes, never building a tree);
+* ``repro-design bench-stream --peers 8 --documents 40`` — compare the
+  streaming validation path against the tree-based one on a synthetic
+  publication stream (wall-clock and peak memory);
 * ``repro-design distributed --peers 8 --documents 64 --workers 4`` —
   replay a synthetic distributed-validation workload through the serial,
   sharded-runtime and (optionally) centralized strategies and compare
@@ -102,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--schema", required=True, help="path to the schema document")
     validate.add_argument("--start", help="root element (defaults to the first declared element)")
     validate.add_argument("--document", required=True, help="path to the document (XML or term notation)")
+    validate.add_argument(
+        "--stream",
+        action="store_true",
+        help="validate event-driven from the raw XML bytes (no tree is built; "
+        "handles documents deeper/larger than the tree path)",
+    )
+    validate.add_argument(
+        "--chunk-bytes", type=int, default=65536, help="chunk size of the streaming feed"
+    )
     _add_stats_argument(validate)
 
     distributed = subparsers.add_parser(
@@ -182,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="announce the endpoint as one JSON line"
     )
 
+    bench_stream = subparsers.add_parser(
+        "bench-stream",
+        help="compare streaming (no-tree) validation against the tree-based path",
+    )
+    bench_stream.add_argument("--peers", type=int, default=8, help="number of resource peers")
+    bench_stream.add_argument(
+        "--documents", type=int, default=40, help="total publications (initial seeds + edits)"
+    )
+    bench_stream.add_argument("--seed", type=int, default=0, help="workload random seed")
+    bench_stream.add_argument(
+        "--invalid-rate", type=float, default=0.05, help="probability of a corrupt publication"
+    )
+    bench_stream.add_argument(
+        "--records", type=int, default=12, help="records per document (document size knob)"
+    )
+    bench_stream.add_argument(
+        "--fields", type=int, default=6, help="fields per record (document size knob)"
+    )
+    bench_stream.add_argument(
+        "--chunk-bytes", type=int, default=65536, help="chunk size of the streaming feed"
+    )
+    bench_stream.add_argument("--rounds", type=int, default=5, help="timed rounds per path")
+    bench_stream.add_argument(
+        "--json", action="store_true", help="emit the comparison as machine-readable JSON"
+    )
+
     bench_serve = subparsers.add_parser(
         "bench-serve",
         help="boot a service on loopback and drive it with the load generator",
@@ -249,6 +288,17 @@ def _run_validate(args: argparse.Namespace) -> int:
     from repro.engine import BatchValidator
 
     schema = _load_schema(args.schema, args.start)
+    if args.stream:
+        from repro.api import validate_stream
+
+        payload = Path(args.document).read_bytes()
+        if not payload.lstrip().startswith(b"<"):
+            raise ReproError("--stream validates raw XML; the document is not XML")
+        if validate_stream(schema, payload, chunk_bytes=args.chunk_bytes):
+            print("valid")
+            return 0
+        print("invalid")
+        return 1
     document = _load_document(args.document)
     # Membership runs on the compiled schema (so --stats is meaningful and
     # repeated validations share the compilation); the uncompiled path is
@@ -352,6 +402,88 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_stream(args: argparse.Namespace) -> int:
+    import time
+    import tracemalloc
+
+    from repro.engine import BatchValidator
+    from repro.service.loadgen import publication_stream
+    from repro.streaming import streaming_validator_for
+    from repro.trees.xml_io import tree_from_xml
+    from repro.workloads.synthetic import distributed_workload
+
+    workload = distributed_workload(
+        peers=args.peers,
+        documents=args.documents,
+        seed=args.seed,
+        invalid_rate=args.invalid_rate,
+        records=args.records,
+        fields=args.fields,
+    )
+    # The same publication stream the workload driver and load generator
+    # replay: every peer re-publishes each round, one peer changes content.
+    publications = [(f, p.encode("utf-8")) for f, p in publication_stream(workload)]
+    batch = {f: BatchValidator(workload.typing[f]) for f in workload.initial_documents}
+    stream = {f: streaming_validator_for(workload.typing[f]) for f in workload.initial_documents}
+
+    def tree_pass() -> list[bool]:
+        return [batch[f].validate(tree_from_xml(p)) for f, p in publications]
+
+    def stream_pass() -> list[bool]:
+        return [stream[f].validate_payload(p, args.chunk_bytes) for f, p in publications]
+
+    if tree_pass() != stream_pass():
+        print("error: streaming and tree-based verdicts disagree", file=sys.stderr)
+        return 1
+
+    def best_ms(run) -> float:
+        best = float("inf")
+        for _ in range(max(1, args.rounds)):
+            started = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - started)
+        return 1000 * best
+
+    def peak_bytes(run) -> int:
+        tracemalloc.start()
+        try:
+            run()
+            return tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    function, largest = max(publications, key=lambda item: len(item[1]))
+    tree_ms, stream_ms = best_ms(tree_pass), best_ms(stream_pass)
+    comparison = {
+        "publications": len(publications),
+        "payload_bytes_total": sum(len(p) for _f, p in publications),
+        "chunk_bytes": args.chunk_bytes,
+        "tree_ms": round(tree_ms, 3),
+        "stream_ms": round(stream_ms, 3),
+        "speedup": round(tree_ms / max(stream_ms, 1e-9), 2),
+        "tree_peak_kib": round(
+            peak_bytes(lambda: batch[function].validate(tree_from_xml(largest))) / 1024, 1
+        ),
+        "stream_peak_kib": round(
+            peak_bytes(lambda: stream[function].validate_payload(largest, args.chunk_bytes)) / 1024,
+            1,
+        ),
+    }
+    if args.json:
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{comparison['publications']} publications, "
+            f"{comparison['payload_bytes_total']} payload bytes"
+        )
+        print(f"tree path:      {comparison['tree_ms']:9.3f} ms  "
+              f"(peak {comparison['tree_peak_kib']} KiB on the largest document)")
+        print(f"streaming path: {comparison['stream_ms']:9.3f} ms  "
+              f"(peak {comparison['stream_peak_kib']} KiB on the largest document)")
+        print(f"speedup: {comparison['speedup']}x")
+    return 0
+
+
 def _run_bench_serve(args: argparse.Namespace) -> int:
     from repro.service.loadgen import run_load
     from repro.service.server import ServiceHandle, ValidationServer
@@ -392,6 +524,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _run_validate,
         "distributed": _run_distributed,
         "serve": _run_serve,
+        "bench-stream": _run_bench_stream,
         "bench-serve": _run_bench_serve,
     }
     # Each invocation runs on a fresh engine so that --stats reports the hit

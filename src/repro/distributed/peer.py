@@ -15,8 +15,32 @@ from typing import Optional
 
 from repro.core.typing import SchemaType
 from repro.engine.batch import BatchValidator
+from repro.errors import DesignError
 from repro.trees.document import Tree
 from repro.trees.xml_io import tree_to_xml
+
+
+@dataclass(frozen=True)
+class StreamedDocument:
+    """What a peer holds after a *streamed* publication: verdict, not tree.
+
+    The streaming ingest path (:meth:`ValidationRuntime.publish_stream`)
+    validates a publication in one pass over its bytes and deliberately
+    retains no :class:`Tree` -- that is the whole point (O(depth) memory).
+    The peer keeps this content-addressed record instead: the payload's
+    wire fingerprint, the verdict, and the validator the verdict was
+    computed with.  Re-validating it returns the recorded verdict (same
+    bytes, same validator, same answer); doing so after the local type
+    changed is impossible without the bytes, so that raises a typed error
+    telling the caller to re-publish.
+    """
+
+    fingerprint: str
+    ack: bool
+    validator: object
+    payload_bytes: int
+    depth: int = 0
+    events: int = 0
 
 
 @dataclass(frozen=True)
@@ -94,6 +118,13 @@ class ResourcePeer(Peer):
         """Return the document for a call of the resource (counts the call)."""
         if self.document is None:
             raise RuntimeError(f"peer {self.name!r} has no document for {self.function!r}")
+        if isinstance(self.document, StreamedDocument):
+            # Materialisation (the centralized strategy) needs the tree,
+            # which a streamed publication deliberately never built.
+            raise DesignError(
+                f"peer {self.name!r} holds a streamed publication; its tree was not "
+                "retained, so it cannot be materialised -- re-publish the document"
+            )
         self.calls += 1
         return self.document
 
@@ -111,14 +142,33 @@ class ResourcePeer(Peer):
             raise RuntimeError(f"peer {self.name!r} has no local type to validate against")
         if self.document is None:
             return False
+        if isinstance(self.document, StreamedDocument):
+            # A streamed publication kept no tree: the verdict recorded at
+            # stream time is authoritative for those bytes -- but only
+            # against the validator it was computed with.
+            if self.document.validator is not self.validator:
+                raise DesignError(
+                    f"peer {self.name!r} holds a streamed publication validated against a "
+                    "replaced local type; the payload was not retained, re-publish it"
+                )
+            return self.document.ack
         if self.validator is not None:
             return self.validator.validate(self.document)
         return self.local_type.validate(self.document)
 
     def document_size(self) -> int:
         """Bytes of the peer's document (what centralized validation must ship)."""
-        return document_bytes(self.document) if self.document is not None else 0
+        if self.document is None:
+            return 0
+        if isinstance(self.document, StreamedDocument):
+            return self.document.payload_bytes
+        return document_bytes(self.document)
 
     def describe(self) -> str:
+        if isinstance(self.document, StreamedDocument):
+            return (
+                f"peer {self.name} provides {self.function} "
+                f"(streamed, {self.document.payload_bytes} bytes)"
+            )
         size = self.document.size if self.document is not None else 0
         return f"peer {self.name} provides {self.function} ({size} nodes)"

@@ -26,6 +26,8 @@ from repro.distributed.runtime.driver import (
 from repro.distributed.runtime.runtime import (
     RuntimeReport,
     RuntimeStats,
+    StreamIngest,
+    StreamPublishReport,
     ValidationRuntime,
 )
 from repro.distributed.runtime.scheduler import ShardScheduler
@@ -38,6 +40,8 @@ __all__ = [
     "ShardMap",
     "ShardScheduler",
     "StrategyOutcome",
+    "StreamIngest",
+    "StreamPublishReport",
     "ValidationRuntime",
     "WorkloadDriver",
     "WorkloadReport",

@@ -11,6 +11,9 @@ network so the cost ledgers are comparable:
 * ``runtime`` -- the sharded :class:`~repro.distributed.runtime.runtime.ValidationRuntime`:
   parallel validation with content-addressed incremental revalidation
   (publications whose bytes are unchanged are dropped after one hash);
+* ``stream`` -- the event-driven path: every publication is fed chunk by
+  chunk through :meth:`ValidationRuntime.publish_stream`, hashed and
+  validated in a single pass with no tree ever materialised;
 * ``centralized`` -- ship everything to the coordinator each round and
   validate the materialised document against the workload's global type.
 
@@ -40,7 +43,7 @@ from repro.trees.xml_io import tree_from_xml, tree_to_xml
 from repro.workloads.synthetic import DistributedWorkload
 
 #: The strategies :meth:`WorkloadDriver.run` knows how to replay.
-STRATEGIES = ("serial", "runtime", "centralized")
+STRATEGIES = ("serial", "runtime", "stream", "centralized")
 
 
 @dataclass(frozen=True)
@@ -138,11 +141,13 @@ class WorkloadDriver:
         max_workers: int = 4,
         shards: Optional[int] = None,
         backend: str = "thread",
+        stream_chunk_bytes: int = 65536,
     ) -> None:
         self.workload = workload
         self.max_workers = max_workers
         self.shards = shards
         self.backend = backend
+        self.stream_chunk_bytes = stream_chunk_bytes
 
     # ------------------------------------------------------------------ #
     # strategy replays
@@ -214,6 +219,31 @@ class WorkloadDriver:
                 "runtime", document.network, base, wall, runtime.stats.validations_run, verdicts
             )
 
+    def _run_streaming(self) -> StrategyOutcome:
+        """The event-driven strategy: every publication streams, no tree is built.
+
+        Each publication is fed to :meth:`ValidationRuntime.publish_stream`
+        in bounded chunks -- digest and verdict in one pass over the bytes,
+        O(depth) working memory.  Verdicts settle at ingest time, so the
+        per-round ``validate_locally`` is pure cached-ack bookkeeping.
+        """
+        document = self._build_document()
+        with ValidationRuntime(
+            document, max_workers=self.max_workers, shards=self.shards, backend=self.backend
+        ) as runtime:
+            runtime.propagate_typing(self.workload.typing)
+            base = document.network.snapshot()
+
+            def ingest(function: str, payload: str) -> None:
+                runtime.publish_stream(function, payload, chunk_bytes=self.stream_chunk_bytes)
+
+            wall, verdicts = self._replay(
+                ingest, lambda: runtime.validate_locally().valid
+            )
+            return self._outcome(
+                "stream", document.network, base, wall, runtime.stats.validations_run, verdicts
+            )
+
     def _run_centralized(self) -> StrategyOutcome:
         document = self._build_document()
         base = document.network.snapshot()
@@ -232,6 +262,7 @@ class WorkloadDriver:
         runners = {
             "serial": self._run_serial,
             "runtime": self._run_runtime,
+            "stream": self._run_streaming,
             "centralized": self._run_centralized,
         }
         outcomes = []

@@ -23,6 +23,15 @@
   parsing.  Hashing runs at native speed, so a byte-identical
   re-publication costs one digest and nothing else; only changed payloads
   are parsed (inside the shard task, off the coordinator) and revalidated.
+* **Streamed ingest** -- :meth:`ValidationRuntime.publish_stream` /
+  :meth:`ValidationRuntime.begin_stream` take the publication as *chunks*
+  and never materialise a tree at all: each chunk is hashed and pushed
+  through the peer's event-driven :mod:`~repro.streaming` validator in one
+  pass, so working memory is O(document depth) and the verdict settles at
+  ingest time (no validation round).  The peer then holds a
+  content-addressed :class:`~repro.distributed.peer.StreamedDocument`
+  record; re-publications dedupe against tree-path publications and vice
+  versa because both address the same payload bytes.
 * **Cost/statistics accounting** -- a :class:`RuntimeReport` extends the
   serial :class:`~repro.distributed.network.ValidationReport` with how many
   peers actually revalidated, and :class:`RuntimeStats` accumulates the
@@ -37,12 +46,20 @@ from typing import Optional
 
 from repro.core.typing import TreeTyping
 from repro.distributed.network import DistributedDocument, ValidationReport
+from repro.distributed.peer import StreamedDocument
 from repro.distributed.runtime.scheduler import ShardScheduler
 from repro.distributed.runtime.sharding import ShardMap
 from repro.engine.batch import BatchValidator
 from repro.engine.compilation import CompilationEngine
-from repro.engine.fingerprint import payload_fingerprint, tree_fingerprint
-from repro.errors import DesignError
+from repro.engine.fingerprint import (
+    payload_fingerprint,
+    payload_hasher,
+    payload_hexdigest,
+    tree_fingerprint,
+)
+from repro.errors import DesignError, InvalidXMLError
+from repro.streaming.events import XMLEventSource, iter_chunks
+from repro.streaming.machine import streaming_validator_for
 from repro.trees.xml_io import tree_from_xml
 
 #: Fingerprint recorded for a peer with no document (validation returns False).
@@ -70,6 +87,7 @@ class RuntimeStats:
     fingerprints_computed: int = 0
     publications: int = 0
     clean_publications: int = 0
+    streamed_publications: int = 0
     wall_seconds: float = 0.0
 
     def snapshot(self) -> dict:
@@ -80,6 +98,7 @@ class RuntimeStats:
             "fingerprints_computed": self.fingerprints_computed,
             "publications": self.publications,
             "clean_publications": self.clean_publications,
+            "streamed_publications": self.streamed_publications,
             "wall_seconds": self.wall_seconds,
         }
 
@@ -112,6 +131,175 @@ class _PeerOutcome:
     validated: bool
     fingerprinted: bool
     malformed: bool = False
+
+
+@dataclass(frozen=True)
+class StreamPublishReport:
+    """The settled outcome of one streamed publication."""
+
+    function: str
+    fingerprint: str
+    clean: bool
+    valid: bool
+    malformed: bool = False
+    payload_bytes: int = 0
+    max_depth: int = 0
+    events: int = 0
+
+    def __str__(self) -> str:
+        state = "clean" if self.clean else ("malformed" if self.malformed else "validated")
+        return f"stream-publish {self.function}: {state} valid={self.valid}"
+
+
+class StreamIngest:
+    """One in-flight streamed publication: digest + validate in a single pass.
+
+    Created by :meth:`ValidationRuntime.begin_stream`.  Every chunk fed is
+    simultaneously hashed (the same content address
+    :meth:`ValidationRuntime.publish` computes over whole payloads) and
+    pushed through the peer's streaming validator -- no :class:`Tree` is
+    ever materialised and no contiguous payload buffer exists anywhere.
+    :meth:`finish` settles the publication against the runtime's
+    incremental state: a byte-identical re-publication is reported clean
+    (the cached acknowledgement stands), anything else records its fresh
+    verdict immediately -- a streamed publication never waits for a
+    validation round.
+
+    Not safe to drive concurrently with other runtime mutations; callers
+    (the service) serialise settlement exactly like ``publish`` rounds.
+    """
+
+    __slots__ = (
+        "_runtime",
+        "function",
+        "_validator",
+        "_hasher",
+        "_source",
+        "_run",
+        "_malformed",
+        "_payload_bytes",
+        "_finished",
+        "_max_depth",
+        "_events",
+    )
+
+    def __init__(self, runtime: "ValidationRuntime", function: str) -> None:
+        if function not in runtime.document.resources:
+            raise DesignError(f"no resource peer serves function {function!r}")
+        peer = runtime.document.resources[function]
+        if peer.validator is None:
+            raise DesignError(f"no local type propagated to {function!r}")
+        self._runtime = runtime
+        self.function = function
+        #: Pinned at begin time: the verdict is recorded against the
+        #: validator the bytes actually streamed through, even if a typing
+        #: re-propagation races the stream.
+        self._validator = peer.validator
+        self._hasher = payload_hasher()
+        self._source = XMLEventSource()
+        self._run = streaming_validator_for(peer.validator.compiled).run()
+        self._malformed = False
+        self._payload_bytes = 0
+        self._finished = False
+        self._max_depth = 0
+        self._events = 0
+
+    def feed(self, chunk: str | bytes) -> None:
+        """Hash and validate one chunk (malformed input flips to hash-only)."""
+        if self._finished:
+            raise DesignError("this streamed publication is already settled")
+        data = chunk.encode("utf-8") if isinstance(chunk, str) else chunk
+        self._hasher.update(data)
+        self._payload_bytes += len(data)
+        if not self._malformed:
+            try:
+                self._source.pump(data, self._run)
+            except InvalidXMLError:
+                # Keep hashing (the content address must cover the whole
+                # payload so re-publishing the same bad bytes clean-skips),
+                # but drop the parser and the frame stack right away.
+                self._malformed = True
+                self._max_depth = self._run.max_depth
+                self._events = self._run.events
+                self._source = None
+                self._run = None
+
+    def finish(self) -> StreamPublishReport:
+        """Settle the publication: clean skip, fresh verdict, or malformed."""
+        if self._finished:
+            raise DesignError("this streamed publication is already settled")
+        self._finished = True
+        runtime = self._runtime
+        function = self.function
+        peer = runtime.document.resources[function]
+        fingerprint = "wire:" + payload_hexdigest(self._hasher)
+        runtime.stats.publications += 1
+        runtime.stats.streamed_publications += 1
+        runtime.stats.fingerprints_computed += 1
+        if self._run is not None:
+            max_depth, events = self._run.max_depth, self._run.events
+        else:
+            max_depth, events = self._max_depth, self._events
+        if (
+            function in runtime._acks
+            and function not in runtime._pending_payloads
+            and runtime._current_fp[function] == fingerprint
+            and runtime._validated_fp.get(function) == fingerprint
+            and peer.document is runtime._fp_document.get(function)
+            and peer.validator is runtime._ack_validator.get(function)
+        ):
+            runtime.stats.clean_publications += 1
+            return StreamPublishReport(
+                function,
+                fingerprint,
+                clean=True,
+                valid=runtime._acks[function],
+                payload_bytes=self._payload_bytes,
+                max_depth=max_depth,
+                events=events,
+            )
+        malformed = self._malformed
+        ack = False
+        validator = self._validator
+        if not malformed:
+            try:
+                self._run.consume(self._source.close())
+            except InvalidXMLError:
+                malformed = True
+            else:
+                ack = self._run.verdict()
+                max_depth, events = self._run.max_depth, self._run.events
+        if malformed:
+            # An unparseable publication is an invalid one; the peer keeps
+            # whatever it held before, like the tree-based wire path.
+            validator = peer.validator
+        else:
+            peer.update_document(
+                StreamedDocument(
+                    fingerprint, ack, validator, self._payload_bytes, max_depth, events
+                )
+            )
+        # A streamed publication supersedes any queued whole-payload one.
+        runtime._pending_payloads.pop(function, None)
+        runtime._current_fp[function] = fingerprint
+        runtime._validated_fp[function] = fingerprint
+        runtime._acks[function] = ack
+        runtime._fp_document[function] = peer.document
+        runtime._ack_validator[function] = validator
+        runtime.stats.validations_run += 1
+        coordinator = runtime.document.coordinator.name
+        runtime.network.send_control(coordinator, peer.name, "validate-request", function)
+        runtime.network.send_control(peer.name, coordinator, "validate-result", str(ack))
+        return StreamPublishReport(
+            function,
+            fingerprint,
+            clean=False,
+            valid=ack,
+            malformed=malformed,
+            payload_bytes=self._payload_bytes,
+            max_depth=max_depth,
+            events=events,
+        )
 
 
 class ValidationRuntime:
@@ -256,6 +444,37 @@ class ValidationRuntime:
         self._current_fp[function] = None
         return False
 
+    def begin_stream(self, function: str) -> StreamIngest:
+        """Start a streamed publication for one peer (digest + validate, one pass).
+
+        The returned :class:`StreamIngest` accepts payload chunks of any
+        size through ``feed`` and settles on ``finish`` -- no ``Tree`` is
+        materialised, working memory stays O(document depth), and the
+        verdict is available immediately (no validation round needed).
+        The peer afterwards holds a content-addressed
+        :class:`~repro.distributed.peer.StreamedDocument` record instead
+        of a tree; re-validating it after a typing change requires
+        re-publishing (the bytes were deliberately not retained).
+        """
+        return StreamIngest(self, function)
+
+    def publish_stream(
+        self, function: str, payload, chunk_bytes: int = 65536
+    ) -> StreamPublishReport:
+        """Publish serialised XML through the streaming path in one call.
+
+        ``payload`` may be ``bytes``/``str`` (sliced into bounded chunks
+        internally) or any iterable of chunks -- what the wire service
+        feeds frame by frame.
+        """
+        ingest = self.begin_stream(function)
+        chunks = (
+            iter_chunks(payload, chunk_bytes) if isinstance(payload, (bytes, str)) else payload
+        )
+        for chunk in chunks:
+            ingest.feed(chunk)
+        return ingest.finish()
+
     def dirty_peers(self) -> tuple[str, ...]:
         """Peers whose next validation round cannot reuse a cached ack.
 
@@ -329,7 +548,7 @@ class ValidationRuntime:
                     fingerprinted = True
                     try:
                         peer.update_document(tree_from_xml(payload))
-                    except SyntaxError:
+                    except InvalidXMLError:
                         # Malformed XML: an invalid publication.  The peer's
                         # previous document is kept; re-publishing the same
                         # bytes is clean-skipped like any other content.

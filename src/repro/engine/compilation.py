@@ -57,6 +57,11 @@ DEFAULT_IDENTITY_CAPACITY = 8192
 #: :class:`repro.engine.batch.CompiledSchema` so both paths hit one memo.
 SCHEMA_TO_UTA_KIND = "schema-to-uta"
 
+#: Identity-memo kind for schema → streaming validator compilation (the
+#: event-driven twin of :class:`~repro.engine.batch.CompiledSchema`; see
+#: :func:`repro.streaming.machine.streaming_validator_for`).
+STREAMING_MACHINE_KIND = "streaming-machine"
+
 
 class _IdentityMemo:
     """A bounded per-object memo keyed by ``id``.

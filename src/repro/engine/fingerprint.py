@@ -164,6 +164,23 @@ def payload_fingerprint(payload: str | bytes) -> str:
     return hashlib.sha256(b"payload\x00" + data).hexdigest()[:_DIGEST_LENGTH]
 
 
+def payload_hasher():
+    """An incremental hasher whose digest matches :func:`payload_fingerprint`.
+
+    The streaming ingest path hashes a publication chunk by chunk while
+    validating it -- feed each chunk with ``update()`` and finish with
+    :func:`payload_hexdigest`; the result equals
+    ``payload_fingerprint(b"".join(chunks))``, so streamed and whole-payload
+    publications of the same bytes content-address identically.
+    """
+    return hashlib.sha256(b"payload\x00")
+
+
+def payload_hexdigest(hasher) -> str:
+    """Finish an incremental :func:`payload_hasher` (canonical truncation)."""
+    return hasher.hexdigest()[:_DIGEST_LENGTH]
+
+
 def uta_fingerprint(uta) -> str:
     """Content-address an unranked tree automaton through its horizontal NFAs.
 

@@ -29,6 +29,17 @@ class NotSingleTypeError(SchemaError):
     """An R-SDTD definition violates the single-type requirement (Definition 6)."""
 
 
+class InvalidXMLError(ReproError, ValueError):
+    """An XML payload is not well-formed (or was truncated mid-document).
+
+    Raised by every parsing surface of the library --
+    :func:`repro.trees.xml_io.tree_from_xml` and the streaming event source
+    of :mod:`repro.streaming.events` -- so that the runtime and the network
+    service map malformed publications to one typed error (wire code
+    ``invalid-xml``) without special-casing stdlib exceptions.
+    """
+
+
 class KernelError(ReproError, ValueError):
     """A kernel document violates the requirements of Section 2.3.
 

@@ -15,16 +15,27 @@ from __future__ import annotations
 
 import asyncio
 import socket
-from typing import Mapping, Optional, Union
+from typing import Iterable, Mapping, Optional, Union
 
 from repro.service import protocol
 from repro.service.protocol import ServiceError
+from repro.streaming.events import iter_chunks
 
 __all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
+
+#: Default chunk size of :meth:`publish_stream` (fits comfortably in a frame).
+DEFAULT_STREAM_CHUNK_BYTES = 65536
 
 
 def _as_bytes(payload: Union[str, bytes]) -> bytes:
     return payload.encode("utf-8") if isinstance(payload, str) else payload
+
+
+def _as_chunks(payload, chunk_bytes: int) -> Iterable[bytes]:
+    """Normalise a publish_stream payload into an iterable of byte chunks."""
+    if isinstance(payload, (str, bytes)):
+        return iter_chunks(_as_bytes(payload), chunk_bytes)
+    return (_as_bytes(chunk) for chunk in payload)
 
 
 def _schema_fields(schemas: Mapping[str, object]) -> dict:
@@ -103,6 +114,28 @@ class ServiceClient(_RequestMixin):
         self._stream = self._sock.makefile("rb")
         self._max_frame_bytes = max_frame_bytes
         self._next_id = 0
+        self._next_stream = 0
+
+    def publish_stream(
+        self,
+        design: str,
+        function: str,
+        payload: Union[str, bytes, Iterable[Union[str, bytes]]],
+        chunk_bytes: int = DEFAULT_STREAM_CHUNK_BYTES,
+    ) -> dict:
+        """Publish through the chunked streaming path (begin / chunks / end).
+
+        ``payload`` may be a whole document (sliced into ``chunk_bytes``
+        frames) or an iterable of chunks produced elsewhere -- the document
+        never needs to fit one protocol frame.  Returns the ``end``
+        verdict, shaped like a ``publish`` result.
+        """
+        self._next_stream += 1
+        stream = f"s{self._next_stream}"
+        self._call("publish_stream_begin", {"design": design, "function": function, "stream": stream})
+        for chunk in _as_chunks(payload, chunk_bytes):
+            self._call("publish_stream_chunk", {"stream": stream}, chunk)
+        return self._call("publish_stream_end", {"stream": stream})
 
     def _call(self, op: str, fields: Optional[dict] = None, blob: bytes = b"") -> dict:
         self._next_id += 1
@@ -152,6 +185,7 @@ class AsyncServiceClient(_RequestMixin):
         self._max_frame_bytes = max_frame_bytes
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
+        self._next_stream = 0
         self._closed = False
         self._read_task = asyncio.get_running_loop().create_task(
             self._read_loop(), name="repro-client-reader"
@@ -181,6 +215,39 @@ class AsyncServiceClient(_RequestMixin):
             self._pending.pop(request_id, None)
             raise ServiceError("connection-closed", "the connection was lost mid-request") from None
         return await future
+
+    async def publish_stream(
+        self,
+        design: str,
+        function: str,
+        payload: Union[str, bytes, Iterable[Union[str, bytes]]],
+        chunk_bytes: int = DEFAULT_STREAM_CHUNK_BYTES,
+    ) -> dict:
+        """Pipelined chunked publication: begin, all chunks, then end.
+
+        The begin acknowledgement is awaited first (so a typed error --
+        unknown design/function -- surfaces before any data moves); the
+        chunk requests are then pipelined on the connection and gathered,
+        and the ``end`` verdict is returned.  Chunk frames are written in
+        order, which is what the server's per-stream FIFO relies on.
+        """
+        self._next_stream += 1
+        stream = f"s{self._next_stream}"
+        await self._call(
+            "publish_stream_begin", {"design": design, "function": function, "stream": stream}
+        )
+        chunk_calls = [
+            asyncio.ensure_future(self._call("publish_stream_chunk", {"stream": stream}, chunk))
+            for chunk in _as_chunks(payload, chunk_bytes)
+        ]
+        if chunk_calls:
+            try:
+                await asyncio.gather(*chunk_calls)
+            except BaseException:
+                for call in chunk_calls:
+                    call.cancel()
+                raise
+        return await self._call("publish_stream_end", {"stream": stream})
 
     async def _read_loop(self) -> None:
         try:

@@ -103,7 +103,12 @@ def publication_stream(workload: DistributedWorkload) -> list[tuple[str, str]]:
 
 
 async def _drive_closed(
-    host: str, port: int, design: str, lanes: list[list[tuple[str, str]]], pipeline: int
+    host: str,
+    port: int,
+    design: str,
+    lanes: list[list[tuple[str, str]]],
+    pipeline: int,
+    stream_chunk_bytes: Optional[int] = None,
 ) -> tuple[list[float], int, int]:
     """Closed loop: each lane is one pipelined connection with a window."""
     latencies: list[float] = []
@@ -111,13 +116,23 @@ async def _drive_closed(
 
     async def lane_task(lane: list[tuple[str, str]]) -> None:
         client = await AsyncServiceClient.connect(host, port)
+        # With chunked streaming, a function's publications must still
+        # settle in order even when the window has several in flight.
+        function_locks: dict[str, asyncio.Lock] = {}
         try:
             window: set[asyncio.Task] = set()
 
             async def one(function: str, payload: str) -> None:
                 started = time.perf_counter()
                 try:
-                    result = await client.publish(design, function, payload)
+                    if stream_chunk_bytes is not None:
+                        lock = function_locks.setdefault(function, asyncio.Lock())
+                        async with lock:
+                            result = await client.publish_stream(
+                                design, function, payload, chunk_bytes=stream_chunk_bytes
+                            )
+                    else:
+                        result = await client.publish(design, function, payload)
                     if result.get("clean"):
                         counters["clean"] += 1
                 except ServiceError:
@@ -140,7 +155,13 @@ async def _drive_closed(
 
 
 async def _drive_open(
-    host: str, port: int, design: str, stream: list[tuple[str, str]], clients: int, rate: float
+    host: str,
+    port: int,
+    design: str,
+    stream: list[tuple[str, str]],
+    clients: int,
+    rate: float,
+    stream_chunk_bytes: Optional[int] = None,
 ) -> tuple[list[float], int, int]:
     """Open loop: fire on schedule, never waiting for completions.
 
@@ -160,10 +181,19 @@ async def _drive_open(
         in_flight: list[asyncio.Task] = []
         epoch = time.perf_counter()
 
+        function_locks: dict[str, asyncio.Lock] = {}
+
         async def one(client: AsyncServiceClient, function: str, payload: str) -> None:
             started = time.perf_counter()
             try:
-                result = await client.publish(design, function, payload)
+                if stream_chunk_bytes is not None:
+                    lock = function_locks.setdefault(function, asyncio.Lock())
+                    async with lock:
+                        result = await client.publish_stream(
+                            design, function, payload, chunk_bytes=stream_chunk_bytes
+                        )
+                else:
+                    result = await client.publish(design, function, payload)
                 if result.get("clean"):
                     counters["clean"] += 1
             except ServiceError:
@@ -195,6 +225,7 @@ async def _run(
     pipeline: int,
     rate: Optional[float],
     register: bool,
+    stream_chunk_bytes: Optional[int],
 ) -> LoadReport:
     stream = publication_stream(workload)
     setup = await AsyncServiceClient.connect(host, port)
@@ -216,13 +247,15 @@ async def _run(
             for function, payload in stream:
                 lanes[lane_of[function]].append((function, payload))
             latencies, clean, errors = await _drive_closed(
-                host, port, design, [lane for lane in lanes if lane], pipeline
+                host, port, design, [lane for lane in lanes if lane], pipeline,
+                stream_chunk_bytes=stream_chunk_bytes,
             )
         else:
             if not rate or rate <= 0:
                 raise DesignError("open-loop load generation needs a positive --rate")
             latencies, clean, errors = await _drive_open(
-                host, port, design, stream, clients, rate
+                host, port, design, stream, clients, rate,
+                stream_chunk_bytes=stream_chunk_bytes,
             )
         wall = time.perf_counter() - started
         final = await setup.revalidate(design)
@@ -257,16 +290,23 @@ def run_load(
     pipeline: int = 8,
     rate: Optional[float] = None,
     register: bool = True,
+    stream_chunk_bytes: Optional[int] = None,
 ) -> LoadReport:
     """Replay ``workload`` against a live service and measure it.
 
     ``register=True`` (the default) registers/replaces the design over the
     wire first, so the generator is self-contained against a fresh server.
+    ``stream_chunk_bytes`` switches publications to the chunked
+    ``publish_stream`` path with that chunk size (per-function order is
+    then serialised per lane, as the streaming protocol requires).
     """
     if mode not in MODES:
         raise DesignError(f"unknown load mode {mode!r}; expected one of {MODES}")
     if clients < 1:
         raise DesignError("the load generator needs at least one client")
     return asyncio.run(
-        _run(host, port, workload, design, mode, clients, max(1, pipeline), rate, register)
+        _run(
+            host, port, workload, design, mode, clients, max(1, pipeline), rate, register,
+            stream_chunk_bytes,
+        )
     )

@@ -264,10 +264,23 @@ def _skip(stream: BinaryIO, remaining: int) -> None:
 # --------------------------------------------------------------------------- #
 
 #: The operations a server understands, with their required JSON fields.
+#:
+#: The ``publish_stream_*`` triple is the chunked publication path: a
+#: document too large (or too latency-sensitive) for one contiguous frame
+#: is shipped as ``begin`` + any number of ``chunk`` frames (the XML bytes
+#: ride in the binary attachment) + ``end``, all tagged with a
+#: client-chosen per-connection ``stream`` id.  The server hashes and
+#: validates each chunk as it arrives (the runtime's streaming ingest);
+#: only the ``end`` response carries the publish verdict.  Frames of one
+#: stream must be sent in order on one connection -- which pipelining
+#: preserves -- and an aborted stream dies with its connection.
 OPERATIONS = {
     "ping": (),
     "register_design": ("design", "kernel", "schemas", "documents"),
     "publish": ("design", "function"),
+    "publish_stream_begin": ("design", "function", "stream"),
+    "publish_stream_chunk": ("stream",),
+    "publish_stream_end": ("stream",),
     "validate": ("design", "function"),
     "revalidate": ("design",),
     "stats": (),

@@ -35,7 +35,7 @@ from repro.core.kernel import KernelTree
 from repro.core.typing import TreeTyping
 from repro.distributed.network import DistributedDocument
 from repro.distributed.runtime.runtime import ValidationRuntime
-from repro.errors import ReproError
+from repro.errors import InvalidXMLError, ReproError
 from repro.schemas.dtd_text import parse_dtd_text
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
@@ -78,6 +78,23 @@ class RegisteredDesign:
             "workers": workers,
             "shards": shards,
         }
+
+
+@dataclass
+class _StreamState:
+    """One in-flight chunked publication on one connection.
+
+    ``lock`` serialises the stream's chunk/end requests: request tasks are
+    created in frame-arrival order and reach the lock before their first
+    await, so FIFO acquisition preserves chunk order even though every
+    request runs in its own task.
+    """
+
+    entry: RegisteredDesign
+    ingest: object  # repro.distributed.runtime.runtime.StreamIngest
+    lock: asyncio.Lock
+    function: str
+    received: int = 0
 
 
 @dataclass
@@ -367,6 +384,7 @@ class ValidationServer:
             await self._read_loop(connection, reader)
         finally:
             self._connections.discard(connection)
+            connection.streams.clear()
             task = asyncio.current_task()
             if task is not None:
                 self._conn_tasks.discard(task)
@@ -408,7 +426,7 @@ class ValidationServer:
             missing = [name for name in protocol.OPERATIONS[op] if name not in body]
             if missing:
                 raise OpError("bad-request", f"operation {op!r} is missing field(s) {missing}")
-            result = await self._execute(op, body, blob)
+            result = await self._execute(op, body, blob, connection)
         except OpError as error:
             self.metrics.record_error(error.code)
             await connection.send_safely(protocol.error_frame(request_id, error.code, error.message))
@@ -430,7 +448,7 @@ class ValidationServer:
     # operations
     # ------------------------------------------------------------------ #
 
-    async def _execute(self, op: str, body: dict, blob: bytes) -> dict:
+    async def _execute(self, op: str, body: dict, blob: bytes, connection: "_Connection") -> dict:
         if op == "ping":
             return {
                 "pong": True,
@@ -445,6 +463,12 @@ class ValidationServer:
             return await self._register(body)
         if op == "publish":
             return await self._publish(body, blob)
+        if op == "publish_stream_begin":
+            return await self._stream_begin(body, blob, connection)
+        if op == "publish_stream_chunk":
+            return await self._stream_chunk(body, blob, connection)
+        if op == "publish_stream_end":
+            return await self._stream_end(body, blob, connection)
         if op == "validate":
             return await self._validate(body, blob)
         if op == "revalidate":
@@ -465,6 +489,7 @@ class ValidationServer:
         return {
             "service": self.metrics.snapshot(),
             "queue_depth": self.admission.queue_depth,
+            "open_streams": sum(len(c.streams) for c in self._connections),
             "designs": designs,
         }
 
@@ -496,7 +521,7 @@ class ValidationServer:
                 for function, xml in documents.items():
                     try:
                         docs[function] = tree_from_xml(xml)
-                    except SyntaxError as error:
+                    except InvalidXMLError as error:
                         raise OpError(
                             "invalid-xml", f"initial document for {function!r}: {error}"
                         ) from None
@@ -602,6 +627,74 @@ class ValidationServer:
                 )
             )
 
+    # ------------------------------------------------------------------ #
+    # chunked streamed publication
+    # ------------------------------------------------------------------ #
+
+    def _stream_state(self, body: dict, connection: "_Connection") -> _StreamState:
+        stream_id = body["stream"]
+        state = connection.streams.get(stream_id)
+        if state is None:
+            raise OpError("unknown-stream", f"no open publication stream {stream_id!r}")
+        return state
+
+    async def _stream_begin(self, body: dict, blob: bytes, connection: "_Connection") -> dict:
+        design_id, function, stream_id = body["design"], body["function"], body["stream"]
+        if not isinstance(stream_id, (str, int)):
+            raise OpError("bad-request", "'stream' must be a string or integer id")
+        if stream_id in connection.streams:
+            raise OpError("stream-exists", f"publication stream {stream_id!r} is already open")
+        entry = self.design(design_id)
+        try:
+            ingest = entry.runtime.begin_stream(function)
+        except ReproError as error:
+            raise OpError("unknown-function", str(error)) from None
+        state = _StreamState(entry, ingest, asyncio.Lock(), function)
+        connection.streams[stream_id] = state
+        if blob:
+            async with state.lock:
+                await self.run_in_executor(state.ingest.feed, blob)
+                state.received += len(blob)
+        return {"design": design_id, "function": function, "stream": stream_id,
+                "received": state.received}
+
+    async def _stream_chunk(self, body: dict, blob: bytes, connection: "_Connection") -> dict:
+        state = self._stream_state(body, connection)
+        if blob:
+            # DFA stepping happens off the loop; the per-stream lock keeps
+            # chunks in arrival order.
+            async with state.lock:
+                await self.run_in_executor(state.ingest.feed, blob)
+                state.received += len(blob)
+        return {"stream": body["stream"], "received": state.received}
+
+    async def _stream_end(self, body: dict, blob: bytes, connection: "_Connection") -> dict:
+        state = self._stream_state(body, connection)
+        del connection.streams[body["stream"]]
+        async with state.lock:
+            if blob:
+                await self.run_in_executor(state.ingest.feed, blob)
+                state.received += len(blob)
+            # Settlement mutates the runtime's incremental state: same
+            # exclusion as publish micro-batches and revalidation rounds.
+            # The global verdict is read under the same lock -- a concurrent
+            # batch on the executor must not tear it.
+            async with self.runtime_lock:
+                report = await self.run_in_executor(state.ingest.finish)
+                verdict = state.entry.runtime.current_verdict()
+        if report.malformed:
+            raise OpError("invalid-xml", f"streamed payload for {state.function!r} is not XML")
+        return {
+            "design": state.entry.design_id,
+            "function": state.function,
+            "stream": body["stream"],
+            "clean": report.clean,
+            "valid": verdict,
+            "peer_valid": report.valid,
+            "payload_bytes": report.payload_bytes,
+            "max_depth": report.max_depth,
+        }
+
     async def _validate(self, body: dict, blob: bytes) -> dict:
         """Stateless validation of a payload against one peer's local type."""
         entry = self.design(body["design"])
@@ -616,7 +709,7 @@ class ValidationServer:
         def check() -> dict:
             try:
                 document = tree_from_xml(payload)
-            except SyntaxError as error:
+            except InvalidXMLError as error:
                 raise OpError("invalid-xml", f"payload for {function!r}: {error}") from None
             return {
                 "design": entry.design_id,
@@ -651,12 +744,16 @@ class ValidationServer:
 class _Connection:
     """One accepted socket: a writer plus its write lock and accounting."""
 
-    __slots__ = ("_server", "_writer", "_lock")
+    __slots__ = ("_server", "_writer", "_lock", "streams")
 
     def __init__(self, server: ValidationServer, writer: asyncio.StreamWriter) -> None:
         self._server = server
         self._writer = writer
         self._lock = asyncio.Lock()
+        #: Open chunked-publication streams, keyed by client stream id.  An
+        #: unfinished stream dies with its connection: nothing was settled,
+        #: so the runtime never saw it.
+        self.streams: dict = {}
 
     async def send_safely(self, frame: bytes) -> None:
         """Write one frame; a peer that vanished is not an error."""

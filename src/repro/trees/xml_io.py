@@ -12,6 +12,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from xml.dom import minidom
 
+from repro.errors import InvalidXMLError
 from repro.trees.document import Tree
 
 
@@ -44,6 +45,15 @@ def tree_to_xml(tree: Tree, pretty: bool = False) -> str:
     return "\n".join(lines)
 
 
-def tree_from_xml(text: str) -> Tree:
-    """Parse XML text into a tree (attributes and character data are dropped)."""
-    return element_to_tree(ET.fromstring(text))
+def tree_from_xml(text: str | bytes) -> Tree:
+    """Parse XML text into a tree (attributes and character data are dropped).
+
+    Malformed input raises the library's typed
+    :class:`~repro.errors.InvalidXMLError` instead of the stdlib's
+    ``xml.etree.ElementTree.ParseError``, so callers (the runtime, the
+    service) never have to special-case stdlib exceptions.
+    """
+    try:
+        return element_to_tree(ET.fromstring(text))
+    except ET.ParseError as error:
+        raise InvalidXMLError(f"malformed XML: {error}") from None

@@ -1,0 +1,99 @@
+"""Fuzz: random byte splits never change a verdict, parsers never leak.
+
+Chunk boundaries are adversarial by nature -- a split can land inside a
+tag name, inside a multi-byte UTF-8 sequence, between attribute quotes --
+and the streaming path must be bit-for-bit indifferent to them.  Every
+payload (valid, invalid, corrupt, malformed) is validated whole and then
+under many random chunkings; the outcome (verdict or typed parse error)
+must be identical.  Interleaving documents through one shared machine
+must behave as if each had its own, because each run/source pair is
+single-document by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import BatchValidator
+from repro.errors import InvalidXMLError
+from repro.streaming import streaming_validator_for
+from repro.trees.xml_io import tree_from_xml, tree_to_xml
+from repro.workloads.synthetic import corrupt_document, distributed_workload, peer_record_dtd
+
+SCHEMA = peer_record_dtd("f1")
+
+
+def outcome_whole(payload):
+    try:
+        document = tree_from_xml(payload)
+    except InvalidXMLError:
+        return "invalid-xml"
+    return BatchValidator(SCHEMA).validate(document)
+
+
+def outcome_chunked(payload, splits):
+    machine = streaming_validator_for(SCHEMA)
+    chunks, last = [], 0
+    for split in splits:
+        chunks.append(payload[last:split])
+        last = split
+    chunks.append(payload[last:])
+    try:
+        return machine.validate_chunks(chunks)
+    except InvalidXMLError:
+        return "invalid-xml"
+
+
+def corpus():
+    workload = distributed_workload(peers=2, documents=8, seed=11, records=5, fields=4)
+    payloads = []
+    for document in workload.initial_documents.values():
+        payloads.append(tree_to_xml(document).encode("utf-8"))
+        payloads.append(tree_to_xml(corrupt_document(document)).encode("utf-8"))
+    for event in workload.events:
+        payloads.append(tree_to_xml(event.document).encode("utf-8"))
+    # Malformed variants: truncations and byte corruptions of the first.
+    base = payloads[0]
+    payloads.append(base[: len(base) // 2])
+    payloads.append(base.replace(b"</", b"<", 1))
+    payloads.append(b"\xff\xfe" + base)
+    # A label with a multi-byte UTF-8 character: splits can cut inside it.
+    payloads.append("<s_f1><récord/></s_f1>".encode("utf-8"))
+    return payloads
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_splits_never_diverge(seed):
+    rng = random.Random(seed)
+    for payload in corpus():
+        expected = outcome_whole(payload)
+        for _ in range(6):
+            count = rng.randrange(0, min(9, len(payload)))
+            splits = sorted(rng.randrange(0, len(payload) + 1) for _ in range(count))
+            assert outcome_chunked(payload, splits) == expected, (payload, splits)
+
+
+def test_no_parser_state_leaks_across_documents():
+    """Interleaved good/bad/malformed documents stay independent."""
+    machine = streaming_validator_for(SCHEMA)
+    workload = distributed_workload(peers=1, documents=4, seed=3)
+    good = tree_to_xml(next(iter(workload.initial_documents.values()))).encode()
+    bad = tree_to_xml(corrupt_document(next(iter(workload.initial_documents.values())))).encode()
+    malformed = good[:-4]
+    sequence = [good, bad, malformed, good, malformed, bad, good]
+    outcomes = []
+    for payload in sequence:
+        try:
+            outcomes.append(machine.validate_payload(payload, chunk_bytes=17))
+        except InvalidXMLError:
+            outcomes.append("invalid-xml")
+    assert outcomes == [True, False, "invalid-xml", True, "invalid-xml", False, True]
+
+
+def test_single_byte_feed_of_a_whole_workload_document():
+    workload = distributed_workload(peers=1, documents=1, seed=5, records=4, fields=3)
+    payload = tree_to_xml(next(iter(workload.initial_documents.values()))).encode()
+    machine = streaming_validator_for(SCHEMA)
+    assert machine.validate_chunks(payload[i : i + 1] for i in range(len(payload))) is True

@@ -106,6 +106,64 @@ class TestValidate:
         assert main(["validate", "--schema", str(schema_file), "--document", "missing.xml"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_stream_valid_document(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text(
+            "<eurostat><averages><Good/><index><value/><year/></index></averages></eurostat>",
+            encoding="utf-8",
+        )
+        code = main(
+            ["validate", "--schema", str(schema_file), "--document", str(document),
+             "--stream", "--chunk-bytes", "16"]
+        )
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_stream_invalid_document(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<eurostat><nationalIndex/></eurostat>", encoding="utf-8")
+        code = main(
+            ["validate", "--schema", str(schema_file), "--document", str(document), "--stream"]
+        )
+        assert code == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_stream_malformed_document_is_a_typed_error(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<eurostat><averages>", encoding="utf-8")
+        code = main(
+            ["validate", "--schema", str(schema_file), "--document", str(document), "--stream"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_refuses_term_notation(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.term"
+        document.write_text("eurostat(averages)", encoding="utf-8")
+        code = main(
+            ["validate", "--schema", str(schema_file), "--document", str(document), "--stream"]
+        )
+        assert code == 2
+        assert "not XML" in capsys.readouterr().err
+
+
+class TestBenchStream:
+    def test_json_comparison(self, capsys):
+        code = main(
+            ["bench-stream", "--peers", "2", "--documents", "6", "--rounds", "1", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["publications"] == 10
+        assert report["tree_ms"] > 0 and report["stream_ms"] > 0
+        assert "speedup" in report and "stream_peak_kib" in report
+
+    def test_summary_output(self, capsys):
+        code = main(["bench-stream", "--peers", "2", "--documents", "4", "--rounds", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streaming path:" in output and "speedup:" in output
+
 
 class TestDistributed:
     def test_summary_output(self, capsys):

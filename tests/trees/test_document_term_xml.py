@@ -126,3 +126,16 @@ class TestXmlIO:
     def test_parsing_ignores_text_and_attributes(self):
         tree = tree_from_xml('<index year="2009">  <value>1.2</value> <year/> </index>')
         assert tree == parse_term("index(value year)")
+
+    def test_malformed_xml_raises_the_typed_error(self):
+        from repro.errors import InvalidXMLError, ReproError
+
+        for bad in ("", "<a>", "<a><b></a>", "plain text", "<a attr=></a>"):
+            with pytest.raises(InvalidXMLError):
+                tree_from_xml(bad)
+        # One base class catches every library error, parse errors included.
+        with pytest.raises(ReproError):
+            tree_from_xml("<unclosed")
+
+    def test_bytes_input_is_accepted(self):
+        assert tree_from_xml(b"<s><a/></s>") == parse_term("s(a)")
