@@ -208,6 +208,7 @@ def run_distributed_workload(
     fields: int = 6,
     strategies: tuple[str, ...] = ("serial", "runtime"),
     backend: str = "thread",
+    validation_backend: Optional[str] = None,
 ) -> WorkloadReport:
     """Replay a synthetic distributed-validation workload and compare strategies.
 
@@ -217,6 +218,11 @@ def run_distributed_workload(
     ``"centralized"``) with a :class:`~repro.distributed.runtime.WorkloadDriver`.
     The report carries wall-clock, throughput, messages and bytes shipped
     per strategy -- what the ``repro-design distributed`` CLI prints.
+    ``validation_backend`` selects how the runtime strategies validate
+    (``python`` / ``codegen`` / ``numpy``; see
+    :mod:`repro.engine.backends`), while ``backend`` names the scheduler;
+    the ``serial`` strategy always uses the interpreted kernel, so the
+    report's ``verdicts_agree`` doubles as a cross-backend differential.
 
     >>> report = run_distributed_workload(peers=4, documents=12, workers=2)
     >>> report.verdicts_agree
@@ -230,7 +236,13 @@ def run_distributed_workload(
         records=records,
         fields=fields,
     )
-    driver = WorkloadDriver(workload, max_workers=workers, shards=shards, backend=backend)
+    driver = WorkloadDriver(
+        workload,
+        max_workers=workers,
+        shards=shards,
+        backend=backend,
+        validation_backend=validation_backend,
+    )
     return driver.run(strategies)
 
 
@@ -239,6 +251,7 @@ def validate_stream(
     payload,
     engine: Optional[CompilationEngine] = None,
     chunk_bytes: int = 65536,
+    backend: Optional[str] = None,
 ) -> bool:
     """Validate serialised XML against a schema without materialising a tree.
 
@@ -250,6 +263,12 @@ def validate_stream(
     structure.  Malformed input raises
     :class:`~repro.errors.InvalidXMLError`.
 
+    ``backend`` selects the validation backend (``python`` / ``codegen``
+    / ``numpy``; see :mod:`repro.engine.backends`).  Verdicts and error
+    classification are identical across backends; note the non-``python``
+    backends trade the O(depth) memory bound for speed (the parser's
+    element tree is materialised per document).
+
     >>> from repro import dtd, validate_stream
     >>> schema = dtd("r", {"r": "a*"})
     >>> validate_stream(schema, "<r><a/><a/></r>")
@@ -257,7 +276,7 @@ def validate_stream(
     >>> validate_stream(schema, b"<r><b/></r>")
     False
     """
-    validator = streaming_validator_for(schema, engine)
+    validator = streaming_validator_for(schema, engine, backend=backend)
     if isinstance(payload, (str, bytes)):
         return validator.validate_payload(payload, chunk_bytes)
     return validator.validate_chunks(payload)
@@ -281,7 +300,8 @@ def serve_design(
     ``host``/``port`` and shuts the service down gracefully on ``close()``
     (or when used as a context manager).  Additional ``server_options``
     are passed to the server (``max_frame_bytes``, ``max_batch``,
-    ``batch_window``, ``runtime_workers``, ``runtime_shards``, ...).
+    ``batch_window``, ``runtime_workers``, ``runtime_shards``,
+    ``validation_backend``, ...).
 
     >>> from repro import serve_design  # doctest: +SKIP
     >>> handle = serve_design(workload.kernel, workload.typing,

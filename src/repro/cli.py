@@ -77,6 +77,17 @@ def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("python", "codegen", "numpy"),
+        default=None,
+        help="validation backend (default: $REPRO_BACKEND, else the interpreted "
+        "'python' oracle; 'codegen' compiles a per-schema validator, 'numpy' "
+        "vectorizes many-documents-one-schema batches)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-design",
@@ -115,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--chunk-bytes", type=int, default=65536, help="chunk size of the streaming feed"
     )
+    _add_backend_argument(validate)
     _add_stats_argument(validate)
 
     distributed = subparsers.add_parser(
@@ -147,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also replay the centralized ship-everything strategy",
     )
+    _add_backend_argument(distributed)
     distributed.add_argument(
         "--json", action="store_true", help="emit the report as machine-readable JSON"
     )
@@ -191,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-register a synthetic N-peer record workload as design 'workload'",
     )
     serve.add_argument("--preload-seed", type=int, default=0, help="seed of the preloaded workload")
+    _add_backend_argument(serve)
     serve.add_argument(
         "--json", action="store_true", help="announce the endpoint as one JSON line"
     )
@@ -217,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-bytes", type=int, default=65536, help="chunk size of the streaming feed"
     )
     bench_stream.add_argument("--rounds", type=int, default=5, help="timed rounds per path")
+    _add_backend_argument(bench_stream)
     bench_stream.add_argument(
         "--json", action="store_true", help="emit the comparison as machine-readable JSON"
     )
@@ -250,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=None, help="open loop: offered publications per second"
     )
     bench_serve.add_argument("--workers", type=int, default=4, help="runtime thread-pool size")
+    _add_backend_argument(bench_serve)
     bench_serve.add_argument(
         "--json", action="store_true", help="emit the load report as machine-readable JSON"
     )
@@ -294,7 +310,7 @@ def _run_validate(args: argparse.Namespace) -> int:
         payload = Path(args.document).read_bytes()
         if not payload.lstrip().startswith(b"<"):
             raise ReproError("--stream validates raw XML; the document is not XML")
-        if validate_stream(schema, payload, chunk_bytes=args.chunk_bytes):
+        if validate_stream(schema, payload, chunk_bytes=args.chunk_bytes, backend=args.backend):
             print("valid")
             return 0
         print("invalid")
@@ -303,7 +319,7 @@ def _run_validate(args: argparse.Namespace) -> int:
     # Membership runs on the compiled schema (so --stats is meaningful and
     # repeated validations share the compilation); the uncompiled path is
     # only consulted for the human-readable explanation of a failure.
-    if BatchValidator(schema).validate(document):
+    if BatchValidator(schema, backend=args.backend).validate(document):
         print("valid")
         return 0
     print(f"invalid: {schema.validation_error(document)}")
@@ -328,6 +344,7 @@ def _run_distributed(args: argparse.Namespace) -> int:
         records=args.records,
         fields=args.fields,
         strategies=tuple(strategies),
+        validation_backend=args.backend,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -353,6 +370,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch if args.max_batch is not None else DEFAULT_MAX_BATCH,
         batch_window=args.batch_window,
         runtime_workers=args.workers,
+        validation_backend=args.backend,
     )
     if args.preload_peers:
         workload = distributed_workload(
@@ -424,7 +442,10 @@ def _run_bench_stream(args: argparse.Namespace) -> int:
     # replay: every peer re-publishes each round, one peer changes content.
     publications = [(f, p.encode("utf-8")) for f, p in publication_stream(workload)]
     batch = {f: BatchValidator(workload.typing[f]) for f in workload.initial_documents}
-    stream = {f: streaming_validator_for(workload.typing[f]) for f in workload.initial_documents}
+    stream = {
+        f: streaming_validator_for(workload.typing[f], backend=args.backend)
+        for f in workload.initial_documents
+    }
 
     def tree_pass() -> list[bool]:
         return [batch[f].validate(tree_from_xml(p)) for f, p in publications]
@@ -455,6 +476,7 @@ def _run_bench_stream(args: argparse.Namespace) -> int:
     function, largest = max(publications, key=lambda item: len(item[1]))
     tree_ms, stream_ms = best_ms(tree_pass), best_ms(stream_pass)
     comparison = {
+        "backend": next(iter(stream.values())).backend,
         "publications": len(publications),
         "payload_bytes_total": sum(len(p) for _f, p in publications),
         "chunk_bytes": args.chunk_bytes,
@@ -497,7 +519,8 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
         records=args.records,
         fields=args.fields,
     )
-    with ServiceHandle(ValidationServer(runtime_workers=args.workers)).start() as handle:
+    server = ValidationServer(runtime_workers=args.workers, validation_backend=args.backend)
+    with ServiceHandle(server).start() as handle:
         report = run_load(
             handle.host,
             handle.port,

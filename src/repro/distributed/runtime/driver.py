@@ -142,12 +142,18 @@ class WorkloadDriver:
         shards: Optional[int] = None,
         backend: str = "thread",
         stream_chunk_bytes: int = 65536,
+        validation_backend: Optional[str] = None,
     ) -> None:
         self.workload = workload
         self.max_workers = max_workers
         self.shards = shards
         self.backend = backend
         self.stream_chunk_bytes = stream_chunk_bytes
+        #: Validator backend for the runtime strategies (``backend`` names
+        #: the scheduler).  The ``serial`` strategy always validates with
+        #: the interpreted kernel, so running serial alongside runtime
+        #: doubles as a cross-backend differential (``verdicts_agree``).
+        self.validation_backend = validation_backend
 
     # ------------------------------------------------------------------ #
     # strategy replays
@@ -208,7 +214,11 @@ class WorkloadDriver:
     def _run_runtime(self) -> StrategyOutcome:
         document = self._build_document()
         with ValidationRuntime(
-            document, max_workers=self.max_workers, shards=self.shards, backend=self.backend
+            document,
+            max_workers=self.max_workers,
+            shards=self.shards,
+            backend=self.backend,
+            validation_backend=self.validation_backend,
         ) as runtime:
             runtime.propagate_typing(self.workload.typing)
             base = document.network.snapshot()
@@ -229,7 +239,11 @@ class WorkloadDriver:
         """
         document = self._build_document()
         with ValidationRuntime(
-            document, max_workers=self.max_workers, shards=self.shards, backend=self.backend
+            document,
+            max_workers=self.max_workers,
+            shards=self.shards,
+            backend=self.backend,
+            validation_backend=self.validation_backend,
         ) as runtime:
             runtime.propagate_typing(self.workload.typing)
             base = document.network.snapshot()

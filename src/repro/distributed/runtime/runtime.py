@@ -320,6 +320,16 @@ class ValidationRuntime:
     backend:
         ``"thread"`` (default) or ``"serial"`` (inline execution, used by
         the differential tests).
+    validation_backend:
+        The *validation* backend every peer validator compiles with
+        (``python`` / ``codegen`` / ``numpy``; see
+        :mod:`repro.engine.backends`) -- distinct from ``backend``, which
+        names the scheduler.  Resolved eagerly (argument >
+        ``$REPRO_BACKEND`` > ``python``) so an unavailable backend fails
+        at construction.  ``publish`` validates through it; the streamed
+        ingest of ``publish_stream`` keeps the interpreted O(depth)
+        machine for its incremental per-chunk contract, inheriting only
+        the memoized compiled schema.
     """
 
     def __init__(
@@ -328,9 +338,13 @@ class ValidationRuntime:
         max_workers: Optional[int] = None,
         shards: Optional[int] = None,
         backend: str = "thread",
+        validation_backend: Optional[str] = None,
     ) -> None:
+        from repro.engine.backends import resolve_backend
+
         self.document = document
         self.network = document.network
+        self.validation_backend = resolve_backend(validation_backend)
         functions = tuple(document.resources)
         peer_count = max(1, len(functions))
         workers, shard_count = resolve_pool(peer_count, max_workers, shards)
@@ -375,7 +389,12 @@ class ValidationRuntime:
 
         def compile_shard(shard: int, engine: CompilationEngine):
             return [
-                (function, BatchValidator(typing[function], engine=engine))
+                (
+                    function,
+                    BatchValidator(
+                        typing[function], engine=engine, backend=self.validation_backend
+                    ),
+                )
                 for function in self.shard_map.members(shard)
             ]
 

@@ -29,6 +29,30 @@ from repro.trees.document import Tree
 #: Bound on the per-schema memo of already-validated document objects.
 _DOCUMENT_MEMO_CAPACITY = 512
 
+#: Bound on each automaton's dense union-row cache (distinct child masks).
+_UNION_ROW_CAPACITY = 4096
+
+
+def _union_row(compiled: CompactNFA, child_mask: int) -> list[int]:
+    """The dense successor row of a child symbol-set: entry ``q`` is
+    ``Δ(closure(q), child_mask)``.  Single-symbol masks (the overwhelming
+    DTD case) alias the automaton's own delta row -- no copy."""
+    delta = compiled.delta
+    low = child_mask & -child_mask
+    if low == child_mask:
+        return delta[low.bit_length() - 1]
+    row = list(delta[low.bit_length() - 1])
+    symbols_left = child_mask ^ low
+    while symbols_left:
+        low = symbols_left & -symbols_left
+        symbols_left ^= low
+        extra = delta[low.bit_length() - 1]
+        for index in range(len(row)):
+            value = extra[index]
+            if value:
+                row[index] |= value
+    return row
+
 
 class CompiledSchema:
     """A schema compiled for repeated membership tests.
@@ -42,14 +66,23 @@ class CompiledSchema:
         The compilation engine used to epsilon-free the horizontal automata;
         defaults to the process-wide engine, so structurally identical
         content models compile once across all schemas and peers.
+    backend:
+        Validation backend name (``python`` / ``codegen`` / ``numpy``),
+        resolved through :func:`~repro.engine.backends.resolve_backend`
+        (explicit argument > ``$REPRO_BACKEND`` > ``python``).  The
+        non-``python`` backends attach a generated validator
+        (:mod:`repro.engine.codegen`) that :meth:`accepts` routes through;
+        verdicts are bit-identical to the interpreted kernel.
     """
 
-    def __init__(self, schema, engine=None) -> None:
+    def __init__(self, schema, engine=None, backend=None) -> None:
+        from repro.engine.backends import resolve_backend
         from repro.engine.compilation import SCHEMA_TO_UTA_KIND, get_default_engine
         from repro.engine.fingerprint import alphabet_key
 
         self.engine = engine if engine is not None else get_default_engine()
         self.schema = schema
+        self.backend = resolve_backend(backend)
         if isinstance(schema, UnrankedTreeAutomaton):
             uta = schema
         else:
@@ -84,36 +117,63 @@ class CompiledSchema:
                 (self._state_bit[state], compiled)
             )
         self._document_memo: OrderedDict[int, tuple[Tree, frozenset]] = OrderedDict()
+        #: Union-row cache counters (plain int adds on the kernel hot path;
+        #: surfaced in ``engine_stats`` under the ``union-row`` kind).
+        self._union_stats = self.engine.stats.kind_counters("union-row")
+        self._codegen = None
+        #: Verdict memo of the generated path (identity-keyed like
+        #: ``_document_memo``, same ``batch-validate`` stats kind; kept
+        #: separate so the two paths never mix value types under one id).
+        self._codegen_verdicts: OrderedDict[int, tuple[Tree, bool]] = OrderedDict()
+        if self.backend != "python":
+            from repro.engine.codegen import codegen_validator_for
+
+            self._codegen = codegen_validator_for(self, self.engine)
 
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _horizontal_accepts(compiled: CompactNFA, child_masks: Sequence[int]) -> bool:
+    def _horizontal_accepts(
+        compiled: CompactNFA, child_masks: Sequence[int], stats=None
+    ) -> bool:
         """Does ``compiled`` accept some word drawn from the child bitmasks?
 
         Runs the ε-free (pre-closure convention) simulation entirely on
         integers: the current state set and every child's symbol set are
-        bitmasks, one step is an OR over the per-symbol successor arrays.
+        bitmasks.  Each step reads one dense union row -- ``row[q] =
+        Δ(closure(q), child_mask)`` -- from the automaton's bounded
+        :attr:`~repro.automata.kernel.compact.CompactNFA.union_rows` cache
+        (child symbol-sets recur constantly across sibling words), so the
+        inner symbol scan runs only on a cache miss.  ``stats`` is an
+        optional per-kind counter leaf (``union-row`` in ``engine_stats``)
+        updated with plain int adds.
         """
-        current = 1 << compiled.initial
-        delta = compiled.delta
-        for child_mask in child_masks:
-            moved = 0
-            symbols_left = child_mask
-            while symbols_left:
-                low = symbols_left & -symbols_left
-                row = delta[low.bit_length() - 1]
+        current = compiled.initial_mask
+        if child_masks:
+            union_rows = compiled.union_rows
+            for child_mask in child_masks:
+                row = union_rows.get(child_mask)
+                if row is None:
+                    if len(union_rows) >= _UNION_ROW_CAPACITY:
+                        union_rows.clear()
+                        if stats is not None:
+                            stats.evictions += 1
+                    row = union_rows[child_mask] = _union_row(compiled, child_mask)
+                    if stats is not None:
+                        stats.misses += 1
+                elif stats is not None:
+                    stats.hits += 1
+                moved = 0
                 states_left = current
                 while states_left:
                     state_low = states_left & -states_left
                     moved |= row[state_low.bit_length() - 1]
                     states_left ^= state_low
-                symbols_left ^= low
-            if not moved:
-                return False
-            current = moved
+                if not moved:
+                    return False
+                current = moved
         return bool(current & compiled.finals_closed)
 
     def _possible_mask(self, tree: Tree) -> int:
@@ -127,8 +187,10 @@ class CompiledSchema:
         if not rules:
             return 0
         result = 0
+        accepts = self._horizontal_accepts
+        stats = self._union_stats
         for state_bit, compiled in rules:
-            if self._horizontal_accepts(compiled, child_masks):
+            if accepts(compiled, child_masks, stats):
                 result |= state_bit
         return result
 
@@ -166,6 +228,30 @@ class CompiledSchema:
         return states
 
     def accepts(self, tree: Tree) -> bool:
+        if self._codegen is not None:
+            # Same identity-keyed document memo contract as the interpreted
+            # path (kind ``batch-validate``): re-validating the same pinned
+            # document object is a dictionary hit, not a re-fold.
+            memo = self._codegen_verdicts
+            entry = memo.get(id(tree))
+            if entry is not None and entry[0] is tree:
+                try:
+                    memo.move_to_end(id(tree))
+                except KeyError:
+                    pass
+                self.engine.stats.record_hit("batch-validate")
+                return entry[1]
+            self.engine.stats.record_miss("batch-validate")
+            verdict = self._codegen.validate_tree(tree)
+            memo[id(tree)] = (tree, verdict)
+            if len(memo) > _DOCUMENT_MEMO_CAPACITY:
+                try:
+                    memo.popitem(last=False)
+                except KeyError:
+                    pass
+                else:
+                    self.engine.stats.record_eviction("batch-validate")
+            return verdict
         return bool(self.possible_states(tree) & self.finals)
 
 
@@ -192,21 +278,38 @@ class BatchReport:
 
 
 class BatchValidator:
-    """Validate many documents (or many peers' documents) against one schema."""
+    """Validate many documents (or many peers' documents) against one schema.
 
-    def __init__(self, schema, engine=None) -> None:
-        self.compiled = CompiledSchema(schema, engine)
+    ``backend`` selects the validation strategy (see
+    :mod:`repro.engine.backends`); verdicts are identical across backends.
+    """
+
+    def __init__(self, schema, engine=None, backend=None) -> None:
+        self.compiled = CompiledSchema(schema, engine, backend=backend)
 
     @property
     def schema(self):
         return self.compiled.schema
+
+    @property
+    def backend(self) -> str:
+        return self.compiled.backend
 
     def validate(self, document: Tree) -> bool:
         """Membership of one document in the compiled schema's language."""
         return self.compiled.accepts(document)
 
     def validate_many(self, documents: Iterable[Tree]) -> list[bool]:
-        """Validate a batch in one pass over the compiled automaton."""
+        """Validate a batch in one pass over the compiled automaton.
+
+        The ``numpy`` backend steps the whole batch level-by-level through
+        vectorized boolean tensors (many documents, one schema); the other
+        backends validate per document.
+        """
+        if self.compiled.backend == "numpy":
+            from repro.engine.backends import validate_many_vectorized
+
+            return validate_many_vectorized(self.compiled, list(documents))
         return [self.compiled.accepts(document) for document in documents]
 
     def report(self, documents: Iterable[Tree]) -> BatchReport:

@@ -37,6 +37,19 @@ class CacheStats:
             self.by_kind[kind] = CacheStats()
         return self.by_kind[kind]
 
+    def kind_counters(self, kind: str) -> "CacheStats":
+        """The per-kind counter leaf, for hot paths that bump counters inline.
+
+        ``record_hit``/``record_miss`` cost a dict probe and two increments
+        per call; kernel-step counters (the union-row cache, the codegen
+        fold tables) instead hoist the leaf once and do plain int adds.
+        Those counters appear in the per-kind breakdown of
+        :meth:`snapshot`/:meth:`report` but are deliberately *not* folded
+        into the global hit/miss totals, which keep describing the engine
+        memo caches alone.
+        """
+        return self._kind(kind)
+
     def record_hit(self, kind: Optional[str] = None) -> None:
         self.hits += 1
         if kind is not None:

@@ -224,12 +224,19 @@ class ValidationServer:
         executor_workers: int = 2,
         runtime_workers: int = 4,
         runtime_shards: Optional[int] = None,
+        validation_backend: Optional[str] = None,
     ) -> None:
+        from repro.engine.backends import resolve_backend
+
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
         self.runtime_workers = runtime_workers
         self.runtime_shards = runtime_shards
+        #: Validation backend every registered design's runtime compiles
+        #: with (resolved eagerly so an unavailable backend fails at
+        #: server construction, not at the first register request).
+        self.validation_backend = resolve_backend(validation_backend)
         self.metrics = ServiceMetrics()
         self.admission = AdmissionController(self, max_batch, batch_window)
         #: Serialises every executor call that mutates a runtime (batches,
@@ -327,7 +334,10 @@ class ValidationServer:
         """Compile a design into a runtime (registry untouched, executor-safe)."""
         document = DistributedDocument(kernel, dict(documents))
         runtime = ValidationRuntime(
-            document, max_workers=self.runtime_workers, shards=self.runtime_shards
+            document,
+            max_workers=self.runtime_workers,
+            shards=self.runtime_shards,
+            validation_backend=self.validation_backend,
         )
         try:
             runtime.propagate_typing(typing)

@@ -33,8 +33,10 @@ matching the parse-first tree path.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable, Optional, Union
 
+from repro.engine.backends import resolve_backend
 from repro.engine.batch import CompiledSchema
 from repro.errors import DesignError
 from repro.streaming.events import CLOSE, OPEN, XMLEventSource, iter_chunks
@@ -42,7 +44,7 @@ from repro.streaming.events import CLOSE, OPEN, XMLEventSource, iter_chunks
 __all__ = ["StreamingRun", "StreamingValidator", "streaming_validator_for"]
 
 
-def streaming_validator_for(schema, engine=None) -> "StreamingValidator":
+def streaming_validator_for(schema, engine=None, backend=None) -> "StreamingValidator":
     """The memoized streaming validator of a schema object.
 
     Compiled once per schema identity through the engine (memo kind
@@ -50,12 +52,26 @@ def streaming_validator_for(schema, engine=None) -> "StreamingValidator":
     :class:`CompiledSchema` uses), so repeated streaming validations --
     the runtime's publish path, the service, the benchmarks -- share one
     compiled machine exactly like peers share compiled batch validators.
+
+    ``backend`` defaults to the schema's own backend when the schema is a
+    :class:`CompiledSchema` (so the runtime's stream ingest inherits the
+    runtime's validation backend), then to the usual resolution
+    (``$REPRO_BACKEND``, else ``python``).  Different backends memoize
+    under distinct kinds so they never collide on one schema object.
     """
     from repro.engine.compilation import STREAMING_MACHINE_KIND, get_default_engine
 
     active = engine if engine is not None else get_default_engine()
+    if backend is None and isinstance(schema, CompiledSchema):
+        backend = schema.backend
+    resolved = resolve_backend(backend)
+    kind = (
+        STREAMING_MACHINE_KIND
+        if resolved == "python"
+        else f"{STREAMING_MACHINE_KIND}:{resolved}"
+    )
     return active.memo_identity(
-        STREAMING_MACHINE_KIND, schema, lambda: StreamingValidator(schema, active)
+        kind, schema, lambda: StreamingValidator(schema, active, backend=resolved)
     )
 
 
@@ -69,12 +85,23 @@ class StreamingValidator:
     state-set template per label.
     """
 
-    __slots__ = ("compiled", "_label_rules", "_finals_mask")
+    __slots__ = ("compiled", "backend", "_codegen", "_label_rules", "_finals_mask")
 
-    def __init__(self, schema, engine=None) -> None:
-        self.compiled = (
-            schema if isinstance(schema, CompiledSchema) else CompiledSchema(schema, engine)
-        )
+    def __init__(self, schema, engine=None, backend=None) -> None:
+        if isinstance(schema, CompiledSchema):
+            self.compiled = schema
+            self.backend = schema.backend if backend is None else resolve_backend(backend)
+        else:
+            self.compiled = CompiledSchema(schema, engine, backend=backend)
+            self.backend = self.compiled.backend
+        #: The generated whole-payload validator (codegen/numpy backends);
+        #: ``None`` on the interpreted path.  Shared with the batch side
+        #: through the ``codegen-validator`` engine memo.
+        self._codegen = None
+        if self.backend != "python":
+            from repro.engine.codegen import codegen_validator_for
+
+            self._codegen = codegen_validator_for(self.compiled, engine)
         #: label -> frame template; an entry is ``(state_bit, delta,
         #: finals_closed)`` with ``delta`` the dense per-symbol successor
         #: arrays over the schema's shared state order.  A frame is the
@@ -110,7 +137,24 @@ class StreamingValidator:
         verdict.  The event source keeps parsing after an early rejection
         so a document that is both invalid and malformed is reported as
         malformed, exactly like parse-then-validate.
+
+        On the ``codegen``/``numpy`` backends the verdict comes from the
+        generated whole-payload fold (O(document) memory -- the parser's
+        element tree is materialized); any parse anomaly replays the
+        buffered chunks through this interpreted path so the typed error
+        classification is identical.  Incremental consumers
+        (:meth:`run`) always get the interpreted O(depth) machine.
         """
+        codegen = self._codegen
+        if codegen is not None:
+            fed: list = []
+            verdict = codegen.try_validate_chunks(chunks, fed)
+            if verdict is not None:
+                return verdict
+            chunks = chain(fed, chunks)
+        return self._interpreted_chunks(chunks)
+
+    def _interpreted_chunks(self, chunks: Iterable[Union[bytes, str]]) -> bool:
         run = self.run()
         source = XMLEventSource()
         for chunk in chunks:
@@ -120,7 +164,12 @@ class StreamingValidator:
 
     def validate_payload(self, payload: Union[bytes, str], chunk_bytes: int = 65536) -> bool:
         """Validate one whole payload (sliced into bounded chunks internally)."""
-        return self.validate_chunks(iter_chunks(payload, chunk_bytes))
+        codegen = self._codegen
+        if codegen is not None:
+            verdict = codegen.try_validate_payload(payload)
+            if verdict is not None:
+                return verdict
+        return self._interpreted_chunks(iter_chunks(payload, chunk_bytes))
 
 
 class StreamingRun:
