@@ -317,6 +317,62 @@ def _scenario_service_throughput(peers: int, documents: int):
     return run, sizes
 
 
+def _scenario_service_overload(factor: float, peers: int, documents: int):
+    """Goodput under deliberate overload: offered load at ``factor`` times
+    the unloaded closed-loop capacity, retrying clients against a bounded
+    admission queue.
+
+    The extras are the overload-survival headline: ``goodput_per_s`` (and
+    its ratio to the unloaded throughput -- the number the chaos CI job
+    gates at >= 0.6), tail latency under shedding, and how many
+    publications were shed and retried.  Zero ``errors`` means every
+    publication eventually landed exactly once (content-addressed dedup
+    absorbs the re-publications).
+    """
+    from repro.service.client import RetryPolicy
+    from repro.service.loadgen import run_load
+    from repro.service.server import ServiceHandle, ValidationServer
+    from repro.workloads import synthetic
+
+    workload = synthetic.distributed_workload(
+        peers=peers, documents=documents, seed=0, invalid_rate=0.0
+    )
+    handle = ServiceHandle(ValidationServer(max_queue_depth=128)).start()
+    _CLEANUPS.append(handle.close)
+    run_load(handle.host, handle.port, workload, design="bench", clients=4, pipeline=8)
+    baseline = run_load(
+        handle.host, handle.port, workload, design="bench", clients=4, pipeline=8,
+        register=False,
+    )
+    offered = factor * baseline.throughput
+    policy = RetryPolicy(attempts=10, base_delay=0.002, max_delay=0.05, seed=0)
+    rounds = documents - peers + 1
+    sizes = {
+        "peers": peers,
+        "documents": documents,
+        "publications": rounds * peers,
+        "max_queue_depth": 128,
+        "overload_factor": factor,
+    }
+
+    def run():
+        report = run_load(
+            handle.host, handle.port, workload, design="bench",
+            mode="open", rate=offered, clients=4, register=False, retry=policy,
+        )
+        assert report.errors == 0
+        return {
+            "goodput_per_s": round(report.goodput, 1),
+            "goodput_ratio": round(report.goodput / max(baseline.throughput, 1e-6), 3),
+            "offered_rate": round(offered, 1),
+            "p99_ms": round(report.p99_ms, 4),
+            "shed": report.shed,
+            "retries": report.retries,
+        }
+
+    return run, sizes
+
+
 def _scenario_distributed_workload(strategy: str, peers: int, documents: int):
     """One full workload replay through the distributed runtime's driver.
 
@@ -381,6 +437,7 @@ def _scenarios(smoke: bool):
     yield "service_throughput_8", _scenario_service_throughput(8, documents)
     if not smoke:
         yield "service_throughput_100", _scenario_service_throughput(100, 110)
+    yield "service_overload_4x", _scenario_service_overload(4.0, 8, 40 if smoke else 80)
 
 
 # --------------------------------------------------------------------------- #

@@ -301,7 +301,9 @@ def serve_design(
     (or when used as a context manager).  Additional ``server_options``
     are passed to the server (``max_frame_bytes``, ``max_batch``,
     ``batch_window``, ``runtime_workers``, ``runtime_shards``,
-    ``validation_backend``, ...).
+    ``validation_backend``, plus the overload tier: ``max_queue_depth``,
+    ``rate_limit``, ``rate_burst``, ``stream_ttl``,
+    ``stream_inline_threshold``, ``max_streams_per_shard``).
 
     >>> from repro import serve_design  # doctest: +SKIP
     >>> handle = serve_design(workload.kernel, workload.typing,

@@ -197,6 +197,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for stragglers before dispatching a micro-batch",
     )
     serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="shed publishes with a typed overloaded/retry-after frame past this queue depth",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client token-bucket admission rate (publications/second; default unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        help="token-bucket burst capacity (default: the rate, min 1)",
+    )
+    serve.add_argument(
+        "--stream-ttl",
+        type=float,
+        default=None,
+        help="reap idle publication streams after this many seconds (default 120)",
+    )
+    serve.add_argument(
+        "--stream-inline-threshold",
+        type=int,
+        default=None,
+        help="publish payloads at least this many bytes settle via streaming ingest (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--max-streams-per-shard",
+        type=int,
+        default=None,
+        help="cap concurrently-open streams per runtime shard (default 64)",
+    )
+    serve.add_argument(
         "--preload-peers",
         type=int,
         default=None,
@@ -265,6 +301,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=None, help="open loop: offered publications per second"
     )
     bench_serve.add_argument("--workers", type=int, default=4, help="runtime thread-pool size")
+    bench_serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="server sheds publishes past this admission-queue depth (overload benching)",
+    )
+    bench_serve.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="publish through the retry/backoff client with N attempts (overload survival)",
+    )
+    bench_serve.add_argument(
+        "--retry-seed", type=int, default=0, help="seed of the retry policy's jitter"
+    )
     _add_backend_argument(bench_serve)
     bench_serve.add_argument(
         "--json", action="store_true", help="emit the load report as machine-readable JSON"
@@ -363,6 +415,18 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.server import DEFAULT_MAX_BATCH, ValidationServer
     from repro.workloads.synthetic import distributed_workload
 
+    overload_options = {}
+    for name in (
+        "max_queue_depth",
+        "rate_limit",
+        "rate_burst",
+        "stream_ttl",
+        "stream_inline_threshold",
+        "max_streams_per_shard",
+    ):
+        value = getattr(args, name)
+        if value is not None:  # None keeps the server's documented default
+            overload_options[name] = value
     server = ValidationServer(
         host=args.host,
         port=args.port,
@@ -371,6 +435,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         runtime_workers=args.workers,
         validation_backend=args.backend,
+        **overload_options,
     )
     if args.preload_peers:
         workload = distributed_workload(
@@ -507,6 +572,7 @@ def _run_bench_stream(args: argparse.Namespace) -> int:
 
 
 def _run_bench_serve(args: argparse.Namespace) -> int:
+    from repro.service.client import RetryPolicy
     from repro.service.loadgen import run_load
     from repro.service.server import ServiceHandle, ValidationServer
     from repro.workloads.synthetic import distributed_workload
@@ -519,7 +585,15 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
         records=args.records,
         fields=args.fields,
     )
-    server = ValidationServer(runtime_workers=args.workers, validation_backend=args.backend)
+    server_options = {}
+    if args.max_queue_depth is not None:
+        server_options["max_queue_depth"] = args.max_queue_depth
+    server = ValidationServer(
+        runtime_workers=args.workers, validation_backend=args.backend, **server_options
+    )
+    retry = None
+    if args.retry_attempts is not None:
+        retry = RetryPolicy(attempts=args.retry_attempts, seed=args.retry_seed)
     with ServiceHandle(server).start() as handle:
         report = run_load(
             handle.host,
@@ -529,6 +603,7 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
             clients=args.clients,
             pipeline=args.pipeline,
             rate=args.rate,
+            retry=retry,
         )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))

@@ -40,6 +40,9 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -204,6 +207,20 @@ class StreamIngest:
         self._max_depth = 0
         self._events = 0
 
+    def abort(self) -> None:
+        """Discard the stream without settling anything.
+
+        What a severed connection or an idle-stream reaper calls: the
+        runtime never learns the stream existed (no stats, no acks, no
+        document update), and the parser/hasher state is dropped so an
+        abandoned stream cannot hold frame stacks alive.  Idempotent, and
+        safe to call after :meth:`finish`.
+        """
+        self._finished = True
+        self._source = None
+        self._run = None
+        self._hasher = None
+
     def feed(self, chunk: str | bytes) -> None:
         """Hash and validate one chunk (malformed input flips to hash-only)."""
         if self._finished:
@@ -225,9 +242,19 @@ class StreamIngest:
                 self._run = None
 
     def finish(self) -> StreamPublishReport:
-        """Settle the publication: clean skip, fresh verdict, or malformed."""
+        """Settle the publication: clean skip, fresh verdict, or malformed.
+
+        Settlement mutates the runtime's incremental state, so it runs
+        under the runtime's state lock -- concurrent streams *feed* fully
+        in parallel (the heavy DFA stepping touches only this object) and
+        serialise only for this final, cheap bookkeeping step.
+        """
         if self._finished:
             raise DesignError("this streamed publication is already settled")
+        with self._runtime._state_lock:
+            return self._finish_locked()
+
+    def _finish_locked(self) -> StreamPublishReport:
         self._finished = True
         runtime = self._runtime
         function = self.function
@@ -351,6 +378,12 @@ class ValidationRuntime:
         self.shard_map = ShardMap.over(functions, shard_count)
         self.scheduler = ShardScheduler(self.shard_map, max_workers=workers, backend=backend)
         self.stats = RuntimeStats()
+        #: Serialises every mutation of (and consistent read over) the
+        #: incremental state below.  Reentrant so a validation round may
+        #: call ``propagate_typing`` while already holding it.  The lock
+        #: is what lets many streamed publications settle from different
+        #: executor threads without the service's global asyncio lock.
+        self._state_lock = threading.RLock()
         #: function -> fingerprint of the current (possibly unvalidated)
         #: document; ``None`` means the content changed and has not been
         #: fingerprinted yet (it is re-fingerprinted inside the shard task).
@@ -383,6 +416,10 @@ class ValidationRuntime:
         Every cached acknowledgement is invalidated -- an ack is only
         meaningful against the type it was computed for.
         """
+        with self._state_lock:
+            self._propagate_typing_locked(typing)
+
+    def _propagate_typing_locked(self, typing: TreeTyping) -> None:
         missing = [f for f in self.document.resources if f not in typing]
         if missing:
             raise DesignError(f"the typing has no component for {missing[0]!r}")
@@ -426,9 +463,10 @@ class ValidationRuntime:
         """
         if function not in self.document.resources:
             raise DesignError(f"no resource peer serves function {function!r}")
-        self.document.resources[function].update_document(document)
-        self._pending_payloads.pop(function, None)
-        self._current_fp[function] = None
+        with self._state_lock:
+            self.document.resources[function].update_document(document)
+            self._pending_payloads.pop(function, None)
+            self._current_fp[function] = None
 
     def publish(self, function: str, payload: str | bytes) -> bool:
         """A peer publishes its document as serialised XML (the wire format).
@@ -447,21 +485,22 @@ class ValidationRuntime:
         """
         if function not in self.document.resources:
             raise DesignError(f"no resource peer serves function {function!r}")
-        self.stats.publications += 1
         fingerprint = "wire:" + payload_fingerprint(payload)
-        if (
-            function in self._acks
-            and function not in self._pending_payloads
-            and self._current_fp[function] == fingerprint
-            and self._validated_fp.get(function) == fingerprint
-            and self.document.resources[function].document is self._fp_document.get(function)
-            and self.document.resources[function].validator is self._ack_validator.get(function)
-        ):
-            self.stats.clean_publications += 1
-            return True
-        self._pending_payloads[function] = (fingerprint, payload)
-        self._current_fp[function] = None
-        return False
+        with self._state_lock:
+            self.stats.publications += 1
+            if (
+                function in self._acks
+                and function not in self._pending_payloads
+                and self._current_fp[function] == fingerprint
+                and self._validated_fp.get(function) == fingerprint
+                and self.document.resources[function].document is self._fp_document.get(function)
+                and self.document.resources[function].validator is self._ack_validator.get(function)
+            ):
+                self.stats.clean_publications += 1
+                return True
+            self._pending_payloads[function] = (fingerprint, payload)
+            self._current_fp[function] = None
+            return False
 
     def begin_stream(self, function: str) -> StreamIngest:
         """Start a streamed publication for one peer (digest + validate, one pass).
@@ -494,6 +533,18 @@ class ValidationRuntime:
             ingest.feed(chunk)
         return ingest.finish()
 
+    def settle_stream(self, ingest: StreamIngest) -> tuple[StreamPublishReport, Optional[bool]]:
+        """Settle a streamed publication and read the global verdict atomically.
+
+        What the service calls when a chunked stream ends: the settlement
+        and the verdict read happen under one acquisition of the state
+        lock, so a concurrent batch round or another stream cannot tear
+        the pair.
+        """
+        with self._state_lock:
+            report = ingest.finish()
+            return report, self.current_verdict()
+
     def dirty_peers(self) -> tuple[str, ...]:
         """Peers whose next validation round cannot reuse a cached ack.
 
@@ -501,15 +552,16 @@ class ValidationRuntime:
         the fingerprint may later prove them clean -- this is the
         conservative pre-round view.
         """
-        return tuple(
-            function
-            for function, peer in self.document.resources.items()
-            if function not in self._acks
-            or self._current_fp[function] is None
-            or peer.document is not self._fp_document.get(function)
-            or peer.validator is not self._ack_validator.get(function)
-            or self._current_fp[function] != self._validated_fp.get(function)
-        )
+        with self._state_lock:
+            return tuple(
+                function
+                for function, peer in self.document.resources.items()
+                if function not in self._acks
+                or self._current_fp[function] is None
+                or peer.document is not self._fp_document.get(function)
+                or peer.validator is not self._ack_validator.get(function)
+                or self._current_fp[function] != self._validated_fp.get(function)
+            )
 
     # ------------------------------------------------------------------ #
     # validation
@@ -528,6 +580,15 @@ class ValidationRuntime:
         verdict-for-verdict; ``force=True`` revalidates every peer even when
         its cached ack is still good (what the first round does anyway).
         """
+        with self._state_lock:
+            return self._validate_locally_locked(typing, typing_is_local, force)
+
+    def _validate_locally_locked(
+        self,
+        typing: Optional[TreeTyping],
+        typing_is_local: bool,
+        force: bool,
+    ) -> RuntimeReport:
         started = time.perf_counter()
         before_messages, before_bytes = self.network.snapshot()
         if typing is not None:
@@ -672,7 +733,8 @@ class ValidationRuntime:
 
     def peer_acks(self) -> dict[str, bool]:
         """The cached per-peer acknowledgements (function -> last verdict)."""
-        return dict(self._acks)
+        with self._state_lock:
+            return dict(self._acks)
 
     def current_verdict(self) -> Optional[bool]:
         """The global verdict derivable from cached acks alone, if any.
@@ -684,9 +746,32 @@ class ValidationRuntime:
         lets the service acknowledge byte-identical re-publications at
         hashing speed.
         """
-        if self.dirty_peers():
-            return None
-        return all(self._acks[function] for function in self.document.resources)
+        with self._state_lock:
+            if self.dirty_peers():
+                return None
+            return all(self._acks[function] for function in self.document.resources)
+
+    def state_digest(self) -> str:
+        """A content address over the runtime's observable validation state.
+
+        Covers the per-peer content fingerprints (which address the
+        documents themselves), the cached acknowledgements and the
+        fingerprints they were computed for, and the set of queued wire
+        publications.  Two runtimes that answer every future request
+        identically digest identically -- what the crash-mid-stream tests
+        compare: a connection severed before ``publish_stream_end`` must
+        leave this digest byte-identical to a run where the stream never
+        began.
+        """
+        with self._state_lock:
+            state = {
+                "acks": self._acks,
+                "validated_fp": self._validated_fp,
+                "current_fp": self._current_fp,
+                "pending": sorted(self._pending_payloads),
+            }
+        encoded = json.dumps(state, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------ #
     # statistics and lifecycle

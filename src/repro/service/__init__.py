@@ -17,21 +17,40 @@ in-process.  ``repro.service`` adds the actual service boundary:
   peer network's byte/message ledger;
 * :mod:`~repro.service.loadgen` -- open-/closed-loop load generation
   replaying :func:`~repro.workloads.synthetic.distributed_workload`
-  streams over loopback.
+  streams over loopback, with goodput/shed accounting under overload;
+* :mod:`~repro.service.faults` -- the seeded chaos proxy
+  (:class:`~repro.service.faults.FaultyTransport`) that drops, delays,
+  truncates, duplicates and severs frames deterministically, so every
+  failure mode is a reproducible test.
 """
 
-from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.client import (
+    AsyncServiceClient,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.faults import FaultPlan, FaultyTransport
 from repro.service.loadgen import LoadReport, publication_stream, run_load
 from repro.service.metrics import ServiceMetrics
-from repro.service.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    ProtocolError,
+)
 from repro.service.server import ServiceHandle, ValidationServer
 
 __all__ = [
     "AsyncServiceClient",
+    "FaultPlan",
+    "FaultyTransport",
     "LoadReport",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RETRYABLE_CODES",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceHandle",

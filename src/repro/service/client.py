@@ -8,23 +8,77 @@ callers use.  :class:`ServiceClient` is the blocking convenience wrapper
 
 Both raise :class:`ServiceError` carrying the typed error code of the
 server's error frame (``unknown-design``, ``invalid-xml``,
-``frame-too-large``, ``shutting-down``, ...).
+``frame-too-large``, ``shutting-down``, ...).  Transport failures and
+read deadlines surface the same way (``timeout``, ``connection-closed``,
+``connection-lost``) -- every failure a caller can see has a code, and
+:attr:`ServiceError.retryable` says whether retrying can help.
+
+For overload survival both clients offer :meth:`publish_with_retry`:
+exponential backoff with deterministic seeded jitter, honouring the
+server's ``retry_after`` hint on ``overloaded`` frames, reconnecting
+after transport failures.  Re-publication is idempotent by construction
+-- the server's content-addressed dedup means a retried byte-identical
+publication costs one digest and zero validation rounds.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
-from typing import Iterable, Mapping, Optional, Union
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Union
 
 from repro.service import protocol
 from repro.service.protocol import ServiceError
 from repro.streaming.events import iter_chunks
 
-__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
+__all__ = ["AsyncServiceClient", "RetryPolicy", "ServiceClient", "ServiceError"]
 
 #: Default chunk size of :meth:`publish_stream` (fits comfortably in a frame).
 DEFAULT_STREAM_CHUNK_BYTES = 65536
+
+#: Error codes after which the connection itself is suspect: the retry
+#: helpers re-dial before the next attempt.
+_RECONNECT_CODES = frozenset({"timeout", "connection-closed", "connection-lost"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for retryable failures.
+
+    ``delay_for(attempt, rng, retry_after)`` computes the pause before
+    retry number ``attempt`` (0-based): ``base_delay * multiplier**attempt``
+    capped at ``max_delay``, spread by up to ``±jitter`` (a fraction) to
+    decorrelate a fleet of retrying clients, and never shorter than the
+    server's ``retry_after`` hint -- the server knows its queue better
+    than any client-side curve.  A ``seed`` makes the whole schedule
+    reproducible, which the chaos tests rely on.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def delay_for(
+        self,
+        attempt: int,
+        rng: random.Random,
+        retry_after: Optional[float] = None,
+    ) -> float:
+        backoff = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter:
+            backoff *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if retry_after is not None:
+            backoff = max(backoff, retry_after)
+        return max(0.0, backoff)
 
 
 def _as_bytes(payload: Union[str, bytes]) -> bytes:
@@ -101,20 +155,43 @@ class _RequestMixin:
 
 
 class ServiceClient(_RequestMixin):
-    """Blocking client: one connection, one request at a time."""
+    """Blocking client: one connection, one request at a time.
+
+    ``timeout`` is the read deadline (seconds) on every blocking call: a
+    dead or wedged server surfaces as a typed ``ServiceError('timeout')``
+    instead of hanging forever.  ``None`` disables the deadline.
+    """
 
     def __init__(
         self,
         host: str,
         port: int,
-        timeout: float = 30.0,
+        timeout: Optional[float] = 30.0,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._stream = self._sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._max_frame_bytes = max_frame_bytes
         self._next_id = 0
         self._next_stream = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._stream = self._sock.makefile("rb")
+
+    def reconnect(self) -> None:
+        """Tear the connection down and re-dial.
+
+        The recovery move after ``timeout``/``connection-lost``: a timed-out
+        read may have consumed part of a frame, so the old byte stream can
+        never be trusted again.
+        """
+        self.close()
+        self._connect()
 
     def publish_stream(
         self,
@@ -140,23 +217,67 @@ class ServiceClient(_RequestMixin):
     def _call(self, op: str, fields: Optional[dict] = None, blob: bytes = b"") -> dict:
         self._next_id += 1
         request_id = self._next_id
-        self._sock.sendall(protocol.request_frame(request_id, op, fields, blob))
-        while True:
-            frame = protocol.read_frame_blocking(self._stream, self._max_frame_bytes)
-            if frame is None:
-                raise ServiceError("connection-closed", "the server closed the connection")
-            body, _blob, _nbytes = frame
-            if body.get("id") != request_id:
-                if body.get("ok") is False and body.get("id") is None:
-                    error = body.get("error", {})
-                    raise ServiceError(
-                        error.get("code", "unknown"), error.get("message", "server-initiated error")
-                    )
-                continue  # a stale frame; keep looking for ours
-            if body.get("ok"):
-                return body.get("result", {})
-            error = body.get("error", {})
-            raise ServiceError(error.get("code", "unknown"), error.get("message", ""))
+        try:
+            self._sock.sendall(protocol.request_frame(request_id, op, fields, blob))
+            while True:
+                frame = protocol.read_frame_blocking(self._stream, self._max_frame_bytes)
+                if frame is None:
+                    raise ServiceError("connection-closed", "the server closed the connection")
+                body, _blob, _nbytes = frame
+                if body.get("id") != request_id:
+                    if body.get("ok") is False and body.get("id") is None:
+                        raise protocol.error_from_body(
+                            body.get("error", {}), "server-initiated error"
+                        )
+                    continue  # a stale frame; keep looking for ours
+                if body.get("ok"):
+                    return body.get("result", {})
+                raise protocol.error_from_body(body.get("error", {}))
+        except (socket.timeout, TimeoutError):
+            raise ServiceError(
+                "timeout",
+                f"no response to {op!r} within {self._timeout}s (reconnect "
+                "before reusing this client: the stream may be mid-frame)",
+            ) from None
+        except OSError as error:
+            raise ServiceError("connection-lost", f"transport failure: {error}") from None
+
+    def publish_with_retry(
+        self,
+        design: str,
+        function: str,
+        payload: Union[str, bytes],
+        policy: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[[ServiceError, float], None]] = None,
+    ) -> dict:
+        """Publish with backoff on retryable failures (overload, transport).
+
+        Safe to repeat: the server deduplicates byte-identical content, so
+        a publication that actually landed before the connection died is
+        settled exactly once.  ``on_retry(error, delay)`` is invoked before
+        each backoff pause (shed accounting, logging).
+        """
+        policy = policy or RetryPolicy()
+        rng = policy.rng()
+        for attempt in range(policy.attempts):
+            try:
+                return self.publish(design, function, payload)
+            except ServiceError as error:
+                if not error.retryable or attempt + 1 >= policy.attempts:
+                    raise
+                delay = policy.delay_for(attempt, rng, error.retry_after)
+                if on_retry is not None:
+                    on_retry(error, delay)
+                if delay:
+                    time.sleep(delay)
+                if error.code in _RECONNECT_CODES:
+                    try:
+                        self.reconnect()
+                    except OSError:
+                        # Still down; the next attempt's publish surfaces a
+                        # typed connection-lost and burns its own attempt.
+                        pass
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         try:
@@ -172,17 +293,27 @@ class ServiceClient(_RequestMixin):
 
 
 class AsyncServiceClient(_RequestMixin):
-    """Pipelined asyncio client: any number of requests in flight."""
+    """Pipelined asyncio client: any number of requests in flight.
+
+    ``timeout`` is the per-request deadline (seconds); a wedged server
+    fails the request with a typed ``ServiceError('timeout')`` instead of
+    awaiting forever.  ``None`` (the default) disables the deadline --
+    pipelined load generation intentionally lets requests queue.
+    """
 
     def __init__(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame_bytes = max_frame_bytes
+        self._timeout = timeout
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._next_stream = 0
@@ -197,9 +328,41 @@ class AsyncServiceClient(_RequestMixin):
         host: str,
         port: int,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
     ) -> "AsyncServiceClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame_bytes)
+        client = cls(reader, writer, max_frame_bytes, timeout=timeout)
+        client._host, client._port = host, port
+        return client
+
+    async def reconnect(self) -> None:
+        """Re-dial the endpoint :meth:`connect` opened and reset transport.
+
+        In-flight requests fail with ``connection-closed``; the request-id
+        counter keeps counting so late frames from the old connection can
+        never be confused with new responses.
+        """
+        if self._host is None or self._port is None:
+            raise ServiceError(
+                "connection-closed",
+                "cannot reconnect: this client was built from a raw stream pair",
+            )
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending("connection-closed", "reconnecting")
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+        self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+        self._closed = False
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="repro-client-reader"
+        )
 
     async def _call(self, op: str, fields: Optional[dict] = None, blob: bytes = b"") -> dict:
         if self._closed:
@@ -211,10 +374,47 @@ class AsyncServiceClient(_RequestMixin):
         try:
             self._writer.write(protocol.request_frame(request_id, op, fields, blob))
             await self._writer.drain()
-        except ConnectionError:
+        except (ConnectionError, OSError):
             self._pending.pop(request_id, None)
             raise ServiceError("connection-closed", "the connection was lost mid-request") from None
-        return await future
+        if self._timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self._timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise ServiceError(
+                "timeout", f"no response to {op!r} within {self._timeout}s"
+            ) from None
+
+    async def publish_with_retry(
+        self,
+        design: str,
+        function: str,
+        payload: Union[str, bytes],
+        policy: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[[ServiceError, float], None]] = None,
+    ) -> dict:
+        """Async twin of :meth:`ServiceClient.publish_with_retry`."""
+        policy = policy or RetryPolicy()
+        rng = policy.rng()
+        for attempt in range(policy.attempts):
+            try:
+                return await self.publish(design, function, payload)
+            except ServiceError as error:
+                if not error.retryable or attempt + 1 >= policy.attempts:
+                    raise
+                delay = policy.delay_for(attempt, rng, error.retry_after)
+                if on_retry is not None:
+                    on_retry(error, delay)
+                if delay:
+                    await asyncio.sleep(delay)
+                if error.code in _RECONNECT_CODES:
+                    try:
+                        await self.reconnect()
+                    except (ServiceError, OSError):
+                        pass  # next attempt surfaces its own typed failure
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def publish_stream(
         self,
@@ -272,10 +472,7 @@ class AsyncServiceClient(_RequestMixin):
                 if body.get("ok"):
                     future.set_result(body.get("result", {}))
                 else:
-                    error = body.get("error", {})
-                    future.set_exception(
-                        ServiceError(error.get("code", "unknown"), error.get("message", ""))
-                    )
+                    future.set_exception(protocol.error_from_body(body.get("error", {})))
         except (protocol.ProtocolError, ConnectionError, asyncio.IncompleteReadError) as error:
             self._fail_pending("connection-closed", f"transport failure: {error}")
         except asyncio.CancelledError:

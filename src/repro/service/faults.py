@@ -1,0 +1,260 @@
+"""Deterministic fault injection: a seeded chaos proxy for the service.
+
+:class:`FaultyTransport` sits between a client and a
+:class:`~repro.service.server.ValidationServer`, forwarding protocol
+frames and injecting failures at *frame* granularity: drop a frame,
+delay it, truncate it mid-bytes, duplicate it, or sever the connection
+outright (which is exactly a mid-stream kill when it lands between a
+``publish_stream_begin`` and its ``end``).  Every decision comes from a
+:class:`random.Random` derived arithmetically from :attr:`FaultPlan.seed`
+and the connection/direction indices -- no string hashing, no wall
+clock -- so a chaos scenario replays identically across processes and
+platforms.
+
+The proxy runs on its own thread and event loop (named
+``repro-chaos-proxy`` so the test-suite thread-leak checks cover it) and
+is transparent when the plan's probabilities are all zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service import protocol
+
+__all__ = ["FaultPlan", "FaultyTransport"]
+
+#: Evaluation order of the cumulative probability roll; also the key set
+#: of :attr:`FaultyTransport.injected`.
+_ACTIONS = ("sever", "truncate", "drop", "duplicate", "delay")
+
+#: How long :meth:`FaultyTransport.close` waits for the proxy thread.
+_JOIN_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-frame fault probabilities, rolled once per forwarded frame.
+
+    The probabilities are cumulative in :data:`_ACTIONS` order (sever,
+    truncate, drop, duplicate, delay); their sum should stay at or below
+    1.0, with the remainder meaning "forward untouched".  ``direction``
+    selects which pump the plan applies to: ``inbound`` is client->server
+    frames (requests), ``outbound`` server->client (responses), ``both``
+    rolls on every frame either way.
+    """
+
+    seed: int = 0
+    sever: float = 0.0
+    truncate: float = 0.0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.01
+    direction: str = "both"
+
+    def applies(self, inbound: bool) -> bool:
+        if self.direction == "both":
+            return True
+        return self.direction == ("inbound" if inbound else "outbound")
+
+    def decide(self, rng: random.Random) -> Optional[str]:
+        """One cumulative roll: the chosen action name, or ``None``."""
+        roll = rng.random()
+        edge = 0.0
+        for action in _ACTIONS:
+            edge += getattr(self, action)
+            if roll < edge:
+                return action
+        return None
+
+    def pump_seed(self, connection_index: int, inbound: bool) -> int:
+        """An integer-only derivation: stable across processes/platforms."""
+        return self.seed * 1_000_003 + connection_index * 2 + (0 if inbound else 1)
+
+
+class _Severed(Exception):
+    """Internal: this connection was killed by an injected fault."""
+
+
+class FaultyTransport:
+    """A seeded chaos proxy between a client and the validation server.
+
+    Accepts on its own ephemeral port and forwards every connection to
+    ``upstream``; use :attr:`host`/:attr:`port` as the client's endpoint.
+    :attr:`injected` counts what actually fired, keyed by action name
+    (plus ``frames`` for everything forwarded) -- tests assert against it
+    to prove the scenario exercised what it claims to.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: FaultPlan,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self.port = 0
+        #: Counts of injected faults (mutated only on the proxy loop;
+        #: read from other threads after the fact).
+        self.injected: dict[str, int] = {action: 0 for action in _ACTIONS}
+        self.injected["frames"] = 0
+        self._connection_index = 0
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "FaultyTransport":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-chaos-proxy", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(_JOIN_TIMEOUT)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise TimeoutError("the chaos proxy did not come up in time")
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, kill live connections, join the thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(_JOIN_TIMEOUT)
+
+    def __enter__(self) -> "FaultyTransport":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - surfaced via start()
+            if not self._started.is_set():
+                self._startup_error = error
+                self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        pumps: set[asyncio.Task] = set()
+        server = await asyncio.start_server(
+            lambda r, w: self._on_connection(r, w, pumps), self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in pumps:
+                task.cancel()
+            if pumps:
+                await asyncio.gather(*pumps, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # the frame pumps
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        pumps: set,
+    ) -> None:
+        index = self._connection_index
+        self._connection_index += 1
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.close()
+            return
+        writers = (client_writer, upstream_writer)
+
+        def sever_all() -> None:
+            for writer in writers:
+                if not writer.is_closing():
+                    writer.close()
+
+        async def pump(reader, writer, inbound: bool) -> None:
+            rng = random.Random(self.plan.pump_seed(index, inbound))
+            active = self.plan.applies(inbound)
+            try:
+                while True:
+                    frame = await self._read_raw_frame(reader)
+                    if frame is None:
+                        break
+                    self.injected["frames"] += 1
+                    action = self.plan.decide(rng) if active else None
+                    if action is not None:
+                        self.injected[action] += 1
+                    if action == "sever":
+                        raise _Severed
+                    if action == "truncate":
+                        writer.write(frame[: max(1, len(frame) // 2)])
+                        await writer.drain()
+                        raise _Severed
+                    if action == "drop":
+                        continue
+                    if action == "delay":
+                        await asyncio.sleep(self.plan.delay_seconds)
+                    writer.write(frame)
+                    if action == "duplicate":
+                        writer.write(frame)
+                    await writer.drain()
+            except (
+                _Severed,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.CancelledError,
+            ):
+                pass
+            finally:
+                # Either side ending ends the connection: half-open proxied
+                # sockets would hide exactly the failures we inject.
+                sever_all()
+
+        for direction_inbound, (reader, writer) in (
+            (True, (client_reader, upstream_writer)),
+            (False, (upstream_reader, client_writer)),
+        ):
+            task = asyncio.get_running_loop().create_task(
+                pump(reader, writer, direction_inbound)
+            )
+            pumps.add(task)
+            task.add_done_callback(pumps.discard)
+
+    @staticmethod
+    async def _read_raw_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+        """One whole frame as raw bytes (header + body + blob), EOF -> None."""
+        try:
+            header = await reader.readexactly(protocol.HEADER_BYTES)
+        except asyncio.IncompleteReadError:
+            return None
+        _magic, _version, json_len, blob_len = protocol._HEADER.unpack(header)
+        body = await reader.readexactly(json_len + blob_len)
+        return header + body

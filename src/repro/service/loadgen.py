@@ -32,7 +32,7 @@ from typing import Optional
 
 from repro.errors import DesignError
 from repro.metrics import Histogram
-from repro.service.client import AsyncServiceClient, ServiceError
+from repro.service.client import AsyncServiceClient, RetryPolicy, ServiceError
 from repro.trees.xml_io import tree_to_xml
 from repro.workloads.synthetic import DistributedWorkload
 
@@ -56,11 +56,30 @@ class LoadReport:
     p99_ms: float
     max_ms: float
     final_valid: Optional[bool]
+    #: Publications refused with ``overloaded`` at least once (shed then
+    #: usually landed by a retry).
+    shed: int = 0
+    #: Total retry attempts across all publications.
+    retries: int = 0
+    #: Open-loop target arrival rate (None in closed-loop runs).
+    offered_rate: Optional[float] = None
 
     @property
     def throughput(self) -> float:
         """Publications acknowledged per second of wall-clock."""
         return self.publications / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """*Successful* publications per second of wall-clock.
+
+        Under overload this is the number that matters: offered load minus
+        everything that ultimately failed (shed past its retry budget,
+        transport-dead, invalid).
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        return max(0, self.publications - self.errors) / self.wall_seconds
 
     def to_dict(self) -> dict:
         return {
@@ -69,8 +88,12 @@ class LoadReport:
             "publications": self.publications,
             "clean": self.clean,
             "errors": self.errors,
+            "shed": self.shed,
+            "retries": self.retries,
+            "offered_rate": self.offered_rate,
             "wall_seconds": round(self.wall_seconds, 6),
             "throughput_per_s": round(self.throughput, 1),
+            "goodput_per_s": round(self.goodput, 1),
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
             "max_ms": round(self.max_ms, 3),
@@ -78,11 +101,15 @@ class LoadReport:
         }
 
     def summary(self) -> str:
+        overload = ""
+        if self.shed or self.retries:
+            overload = f", {self.shed} shed, {self.retries} retried"
         return (
             f"{self.mode}-loop: {self.publications} publications over {self.clients} client(s) "
             f"in {self.wall_seconds:.3f}s = {self.throughput:.0f}/s "
-            f"(p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms, "
-            f"{self.clean} clean, {self.errors} error(s), final verdict {self.final_valid})"
+            f"(goodput {self.goodput:.0f}/s, p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms, "
+            f"{self.clean} clean, {self.errors} error(s){overload}, "
+            f"final verdict {self.final_valid})"
         )
 
 
@@ -109,10 +136,12 @@ async def _drive_closed(
     lanes: list[list[tuple[str, str]]],
     pipeline: int,
     stream_chunk_bytes: Optional[int] = None,
-) -> tuple[list[float], int, int]:
+    retry: Optional[RetryPolicy] = None,
+) -> tuple[list[float], dict]:
     """Closed loop: each lane is one pipelined connection with a window."""
     latencies: list[float] = []
-    counters = {"clean": 0, "errors": 0}
+    counters = {"clean": 0, "errors": 0, "shed": 0, "retries": 0}
+    noted = _retry_hook(counters)
 
     async def lane_task(lane: list[tuple[str, str]]) -> None:
         client = await AsyncServiceClient.connect(host, port)
@@ -131,6 +160,10 @@ async def _drive_closed(
                             result = await client.publish_stream(
                                 design, function, payload, chunk_bytes=stream_chunk_bytes
                             )
+                    elif retry is not None:
+                        result = await client.publish_with_retry(
+                            design, function, payload, policy=retry, on_retry=noted
+                        )
                     else:
                         result = await client.publish(design, function, payload)
                     if result.get("clean"):
@@ -151,7 +184,18 @@ async def _drive_closed(
             await client.close()
 
     await asyncio.gather(*(lane_task(lane) for lane in lanes))
-    return latencies, counters["clean"], counters["errors"]
+    return latencies, counters
+
+
+def _retry_hook(counters: dict):
+    """Shed/retry accounting shared by both loop disciplines."""
+
+    def noted(error: ServiceError, _delay: float) -> None:
+        counters["retries"] += 1
+        if error.code == "overloaded":
+            counters["shed"] += 1
+
+    return noted
 
 
 async def _drive_open(
@@ -162,7 +206,8 @@ async def _drive_open(
     clients: int,
     rate: float,
     stream_chunk_bytes: Optional[int] = None,
-) -> tuple[list[float], int, int]:
+    retry: Optional[RetryPolicy] = None,
+) -> tuple[list[float], dict]:
     """Open loop: fire on schedule, never waiting for completions.
 
     A function's publications always go out on the same connection (same
@@ -170,7 +215,8 @@ async def _drive_open(
     stream in publication order even with many requests in flight.
     """
     latencies: list[float] = []
-    counters = {"clean": 0, "errors": 0}
+    counters = {"clean": 0, "errors": 0, "shed": 0, "retries": 0}
+    noted = _retry_hook(counters)
     connections = await asyncio.gather(
         *(AsyncServiceClient.connect(host, port) for _ in range(clients))
     )
@@ -192,6 +238,10 @@ async def _drive_open(
                         result = await client.publish_stream(
                             design, function, payload, chunk_bytes=stream_chunk_bytes
                         )
+                elif retry is not None:
+                    result = await client.publish_with_retry(
+                        design, function, payload, policy=retry, on_retry=noted
+                    )
                 else:
                     result = await client.publish(design, function, payload)
                 if result.get("clean"):
@@ -212,7 +262,7 @@ async def _drive_open(
     finally:
         for client in connections:
             await client.close()
-    return latencies, counters["clean"], counters["errors"]
+    return latencies, counters
 
 
 async def _run(
@@ -226,6 +276,7 @@ async def _run(
     rate: Optional[float],
     register: bool,
     stream_chunk_bytes: Optional[int],
+    retry: Optional[RetryPolicy],
 ) -> LoadReport:
     stream = publication_stream(workload)
     setup = await AsyncServiceClient.connect(host, port)
@@ -246,16 +297,16 @@ async def _run(
             lanes: list[list[tuple[str, str]]] = [[] for _ in range(clients)]
             for function, payload in stream:
                 lanes[lane_of[function]].append((function, payload))
-            latencies, clean, errors = await _drive_closed(
+            latencies, counters = await _drive_closed(
                 host, port, design, [lane for lane in lanes if lane], pipeline,
-                stream_chunk_bytes=stream_chunk_bytes,
+                stream_chunk_bytes=stream_chunk_bytes, retry=retry,
             )
         else:
             if not rate or rate <= 0:
                 raise DesignError("open-loop load generation needs a positive --rate")
-            latencies, clean, errors = await _drive_open(
+            latencies, counters = await _drive_open(
                 host, port, design, stream, clients, rate,
-                stream_chunk_bytes=stream_chunk_bytes,
+                stream_chunk_bytes=stream_chunk_bytes, retry=retry,
             )
         wall = time.perf_counter() - started
         final = await setup.revalidate(design)
@@ -270,13 +321,16 @@ async def _run(
         mode=mode,
         clients=clients,
         publications=len(latencies),
-        clean=clean,
-        errors=errors,
+        clean=counters["clean"],
+        errors=counters["errors"],
         wall_seconds=wall,
         p50_ms=summary["p50"],
         p99_ms=summary["p99"],
         max_ms=summary["max"],
         final_valid=final.get("valid"),
+        shed=counters["shed"],
+        retries=counters["retries"],
+        offered_rate=rate if mode == "open" else None,
     )
 
 
@@ -291,6 +345,7 @@ def run_load(
     rate: Optional[float] = None,
     register: bool = True,
     stream_chunk_bytes: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Replay ``workload`` against a live service and measure it.
 
@@ -299,6 +354,10 @@ def run_load(
     ``stream_chunk_bytes`` switches publications to the chunked
     ``publish_stream`` path with that chunk size (per-function order is
     then serialised per lane, as the streaming protocol requires).
+    ``retry`` makes every whole-frame publication go through
+    ``publish_with_retry`` with that policy -- the overload-survival
+    discipline: shed publications back off and re-land, and the report's
+    ``shed``/``retries``/``goodput`` fields say what it cost.
     """
     if mode not in MODES:
         raise DesignError(f"unknown load mode {mode!r}; expected one of {MODES}")
@@ -307,6 +366,6 @@ def run_load(
     return asyncio.run(
         _run(
             host, port, workload, design, mode, clients, max(1, pipeline), rate, register,
-            stream_chunk_bytes,
+            stream_chunk_bytes, retry,
         )
     )

@@ -53,6 +53,19 @@ class ServiceMetrics:
 
     # -- admission-controller accounting -------------------------------- #
 
+    def record_shed(self, reason: str) -> None:
+        """One request refused by the overload tier (``reason`` is the why)."""
+        self.registry.counter("shed.total").inc()
+        self.registry.counter(f"shed.{reason}").inc()
+
+    def record_reaped_stream(self) -> None:
+        """One idle publication stream reclaimed by the TTL reaper."""
+        self.registry.counter("streams.reaped").inc()
+
+    def record_inline_stream(self) -> None:
+        """One oversized ``publish`` routed through the streaming ingest."""
+        self.registry.counter("publish.inline_streamed").inc()
+
     def record_batch(self, size: int, queue_depth: int, seconds: float) -> None:
         self.registry.counter("batches").inc()
         self.registry.counter("batched_publications").inc(size)

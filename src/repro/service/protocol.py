@@ -48,6 +48,19 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Chunk size used when draining the body of a rejected frame.
 _DRAIN_CHUNK = 65536
 
+#: Error codes a client may safely retry (with backoff): the request was
+#: either never admitted (``overloaded`` -- the server shed it before any
+#: state changed) or its fate is unknown but re-publication is idempotent
+#: (``timeout`` / ``connection-closed`` / ``connection-lost`` -- the
+#: runtime's content-addressed dedup makes a repeated publication of the
+#: same bytes cost one digest).  Everything else -- ``invalid-xml``,
+#: ``unknown-design``, ``bad-request``, ``shutting-down``, ... -- is a
+#: property of the request or the server's lifecycle, and retrying the
+#: same frame can never succeed.
+RETRYABLE_CODES = frozenset(
+    {"overloaded", "timeout", "connection-closed", "connection-lost"}
+)
+
 
 # --------------------------------------------------------------------------- #
 # typed errors
@@ -61,12 +74,22 @@ class ServiceError(ReproError):
     handling a request (and serialise it into an error frame), clients
     raise it when they receive one.  ``code`` is the typed error code
     (``unknown-design``, ``invalid-xml``, ``shutting-down``, ...).
+
+    ``retry_after`` (seconds, optional) is the server's load-shedding
+    hint: how long the client should back off before retrying an
+    ``overloaded`` request.  :attr:`retryable` is the client-side contract
+    of :data:`RETRYABLE_CODES`.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, retry_after: Optional[float] = None) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
 
 
 class ProtocolError(Exception):
@@ -288,10 +311,29 @@ OPERATIONS = {
 }
 
 
-def error_frame(request_id: Optional[int], code: str, message: str) -> bytes:
-    """An error response frame (``id`` echoes the request when known)."""
-    return encode_frame(
-        {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+def error_frame(
+    request_id: Optional[int],
+    code: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> bytes:
+    """An error response frame (``id`` echoes the request when known).
+
+    ``retry_after`` rides along for load-shedding errors so a well-behaved
+    client knows how long to back off before retrying.
+    """
+    error: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(retry_after, 4)
+    return encode_frame({"id": request_id, "ok": False, "error": error})
+
+
+def error_from_body(error: dict, fallback_message: str = "") -> ServiceError:
+    """Rebuild the typed :class:`ServiceError` of a decoded error object."""
+    return ServiceError(
+        error.get("code", "unknown"),
+        error.get("message", fallback_message),
+        retry_after=error.get("retry_after"),
     )
 
 

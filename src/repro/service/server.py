@@ -48,6 +48,25 @@ __all__ = ["OpError", "RegisteredDesign", "ValidationServer", "ServiceHandle"]
 #: Default ceiling on publications coalesced into one micro-batch.
 DEFAULT_MAX_BATCH = 128
 
+#: Default ceiling on queued-but-unbatched publications before shedding.
+DEFAULT_MAX_QUEUE_DEPTH = 1024
+
+#: Default idle TTL (seconds) before an abandoned publication stream is
+#: reaped and its shard slot reclaimed.
+DEFAULT_STREAM_TTL = 120.0
+
+#: Default payload size (bytes) at which a whole-frame ``publish`` is
+#: routed through the streaming ingest instead of the micro-batch queue.
+DEFAULT_STREAM_INLINE_THRESHOLD = 1 << 20
+
+#: Default per-shard ceiling on concurrently-open wire streams.
+DEFAULT_MAX_STREAMS_PER_SHARD = 64
+
+#: Operations the per-client token bucket meters: the ones that admit new
+#: content into a runtime.  Reads, chunk traffic on an already-admitted
+#: stream, and lifecycle ops stay free.
+_RATE_LIMITED_OPS = frozenset({"publish", "publish_stream_begin"})
+
 #: How long :meth:`ServiceHandle.close` waits for the server thread.
 _JOIN_TIMEOUT = 30.0
 
@@ -63,6 +82,9 @@ class RegisteredDesign:
     design_id: str
     document: DistributedDocument
     runtime: ValidationRuntime
+    #: shard index -> number of wire streams currently holding a slot.
+    #: Mutated only from the event loop thread, like the registry itself.
+    open_streams_by_shard: dict = field(default_factory=dict)
 
     def close(self) -> None:
         self.runtime.close()
@@ -80,6 +102,32 @@ class RegisteredDesign:
         }
 
 
+class TokenBucket:
+    """A per-client admission meter: ``rate`` tokens/second, ``burst`` deep.
+
+    ``try_take`` refills lazily from the supplied monotonic timestamp and
+    either spends one token (returning ``0.0``) or reports how many
+    seconds until the next token exists -- that number goes straight into
+    the ``retry_after`` hint of the ``overloaded`` frame.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def try_take(self, now: float) -> float:
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
 @dataclass
 class _StreamState:
     """One in-flight chunked publication on one connection.
@@ -95,6 +143,10 @@ class _StreamState:
     lock: asyncio.Lock
     function: str
     received: int = 0
+    #: Runtime shard whose stream slot this publication holds.
+    shard: int = 0
+    #: Loop time of the last frame touching this stream (TTL reaping).
+    touched: float = 0.0
 
 
 @dataclass
@@ -116,16 +168,33 @@ class AdmissionController:
     adding artificial latency.  ``batch_window`` optionally waits that
     many seconds after the first publication of a batch to let stragglers
     join -- zero (the default) coalesces only what is already pending.
+
+    The queue is bounded: once ``max_queue_depth`` publications are
+    pending, further submissions are shed with a typed ``overloaded``
+    error carrying a ``retry_after`` hint derived from the observed
+    per-publication batch wall time -- the queue never grows without
+    bound, and shed clients learn *when* to come back, not just that
+    they should.
     """
 
-    def __init__(self, server: "ValidationServer", max_batch: int, batch_window: float) -> None:
+    def __init__(
+        self,
+        server: "ValidationServer",
+        max_batch: int,
+        batch_window: float,
+        max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+    ) -> None:
         self._server = server
         self.max_batch = max(1, max_batch)
         self.batch_window = batch_window
+        self.max_queue_depth = max_queue_depth
         #: ``None`` is the drain sentinel appended once at shutdown.
         self._queue: asyncio.Queue[Optional[_Publication]] = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self._stopping = False
+        #: EWMA of per-publication batch wall seconds; seeds the
+        #: ``retry_after`` hint before the first batch lands.
+        self._item_seconds = 0.002
 
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(self._loop(), name="repro-admission")
@@ -134,10 +203,24 @@ class AdmissionController:
     def queue_depth(self) -> int:
         return self._queue.qsize()
 
+    def retry_after_hint(self, depth: Optional[int] = None) -> float:
+        """Seconds until the queue has plausibly drained (clamped 50ms-5s)."""
+        if depth is None:
+            depth = self._queue.qsize()
+        return round(min(5.0, max(0.05, depth * self._item_seconds)), 4)
+
     async def submit(self, item: _Publication) -> dict:
         """Queue one publication and await its batch's verdict."""
         if self._stopping:
             raise OpError("shutting-down", "the server is shutting down")
+        depth = self._queue.qsize()
+        if self.max_queue_depth is not None and depth >= self.max_queue_depth:
+            self._server.metrics.record_shed("queue-full")
+            raise OpError(
+                "overloaded",
+                f"admission queue is full ({depth} publications pending)",
+                retry_after=self.retry_after_hint(depth),
+            )
         self._queue.put_nowait(item)
         return await item.future
 
@@ -176,9 +259,9 @@ class AdmissionController:
                     )
             return
         finally:
-            self._server.metrics.record_batch(
-                len(batch), depth, time.perf_counter() - started
-            )
+            elapsed = time.perf_counter() - started
+            self._item_seconds = 0.8 * self._item_seconds + 0.2 * (elapsed / len(batch))
+            self._server.metrics.record_batch(len(batch), depth, elapsed)
         for item, outcome in settled:
             if item.future.done():
                 continue
@@ -225,6 +308,12 @@ class ValidationServer:
         runtime_workers: int = 4,
         runtime_shards: Optional[int] = None,
         validation_backend: Optional[str] = None,
+        max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        stream_ttl: Optional[float] = DEFAULT_STREAM_TTL,
+        stream_inline_threshold: Optional[int] = DEFAULT_STREAM_INLINE_THRESHOLD,
+        max_streams_per_shard: Optional[int] = DEFAULT_MAX_STREAMS_PER_SHARD,
     ) -> None:
         from repro.engine.backends import resolve_backend
 
@@ -233,12 +322,32 @@ class ValidationServer:
         self.max_frame_bytes = max_frame_bytes
         self.runtime_workers = runtime_workers
         self.runtime_shards = runtime_shards
+        #: Per-client (peer host) admission rate in publications/second;
+        #: ``None`` disables the token bucket entirely.
+        self.rate_limit = rate_limit
+        self.rate_burst = (
+            rate_burst if rate_burst is not None
+            else (max(1.0, rate_limit) if rate_limit is not None else 1.0)
+        )
+        #: Idle seconds before an abandoned stream is reaped (None: never).
+        self.stream_ttl = stream_ttl
+        #: ``publish`` payloads at least this big go through the streaming
+        #: ingest, so the whole-frame path no longer bounds document size.
+        self.stream_inline_threshold = stream_inline_threshold
+        #: Ceiling on concurrently-open wire streams per runtime shard.
+        self.max_streams_per_shard = max_streams_per_shard
         #: Validation backend every registered design's runtime compiles
         #: with (resolved eagerly so an unavailable backend fails at
         #: server construction, not at the first register request).
         self.validation_backend = resolve_backend(validation_backend)
         self.metrics = ServiceMetrics()
-        self.admission = AdmissionController(self, max_batch, batch_window)
+        self.admission = AdmissionController(
+            self, max_batch, batch_window, max_queue_depth=max_queue_depth
+        )
+        self._buckets: dict[str, TokenBucket] = {}
+        #: Injectable monotonic clock for deterministic rate-limit tests.
+        self._bucket_clock = time.monotonic
+        self._reaper_task: Optional[asyncio.Task] = None
         #: Serialises every executor call that mutates a runtime (batches,
         #: revalidation, registration) -- runtimes are not reentrant.
         self.runtime_lock = asyncio.Lock()
@@ -264,6 +373,10 @@ class ValidationServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self.admission.start()
+        if self.stream_ttl is not None:
+            self._reaper_task = asyncio.get_running_loop().create_task(
+                self._reap_loop(), name="repro-stream-reaper"
+            )
 
     async def serve_forever(self) -> None:
         """Serve until a ``shutdown`` request (or :meth:`request_shutdown`)."""
@@ -280,6 +393,13 @@ class ValidationServer:
             return
         self._closing = True
         self._closed = True
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+            self._reaper_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -382,6 +502,85 @@ class ValidationServer:
         return entry
 
     # ------------------------------------------------------------------ #
+    # overload tier: rate limiting, stream slots, TTL reaping
+    # ------------------------------------------------------------------ #
+
+    def _rate_admit(self, op: str, connection: "_Connection") -> None:
+        """Charge the per-client token bucket; shed when it is empty."""
+        if self.rate_limit is None or op not in _RATE_LIMITED_OPS:
+            return
+        now = self._bucket_clock()
+        bucket = self._buckets.get(connection.peer_host)
+        if bucket is None:
+            if len(self._buckets) >= 4096:  # bounded even under host churn
+                self._buckets.clear()
+            bucket = TokenBucket(self.rate_limit, self.rate_burst, now)
+            self._buckets[connection.peer_host] = bucket
+        wait = bucket.try_take(now)
+        if wait > 0.0:
+            self.metrics.record_shed("rate-limited")
+            raise OpError(
+                "overloaded",
+                f"client {connection.peer_host} exceeded "
+                f"{self.rate_limit:g} admissions/s",
+                retry_after=round(wait, 4),
+            )
+
+    def _acquire_stream_slot(self, entry: RegisteredDesign, function: str) -> int:
+        """Claim one of ``function``'s shard's stream slots (loop thread only)."""
+        try:
+            shard = entry.runtime.shard_map.shard_of(function)
+        except ReproError as error:
+            raise OpError("unknown-function", str(error)) from None
+        open_now = entry.open_streams_by_shard.get(shard, 0)
+        if self.max_streams_per_shard is not None and open_now >= self.max_streams_per_shard:
+            self.metrics.record_shed("shard-busy")
+            raise OpError(
+                "overloaded",
+                f"shard {shard} of design {entry.design_id!r} already has "
+                f"{open_now} publication streams in flight",
+                retry_after=self.admission.retry_after_hint(),
+            )
+        entry.open_streams_by_shard[shard] = open_now + 1
+        return shard
+
+    def _release_stream_slot(self, entry: RegisteredDesign, shard: int) -> None:
+        remaining = entry.open_streams_by_shard.get(shard, 0) - 1
+        if remaining > 0:
+            entry.open_streams_by_shard[shard] = remaining
+        else:
+            entry.open_streams_by_shard.pop(shard, None)
+
+    def _discard_streams(self, connection: "_Connection") -> None:
+        """Abort a dying connection's open streams and return their slots."""
+        for state in connection.streams.values():
+            state.ingest.abort()
+            self._release_stream_slot(state.entry, state.shard)
+        connection.streams.clear()
+
+    async def _reap_loop(self) -> None:
+        """Reclaim streams idle past :attr:`stream_ttl` (and their slots)."""
+        loop = asyncio.get_running_loop()
+        interval = max(0.01, min(1.0, self.stream_ttl / 4.0))
+        while True:
+            await asyncio.sleep(interval)
+            now = loop.time()
+            for connection in list(self._connections):
+                expired = [
+                    stream_id
+                    for stream_id, state in connection.streams.items()
+                    # A held lock means a chunk is mid-feed on the executor:
+                    # that stream is alive no matter what ``touched`` says.
+                    if not state.lock.locked() and now - state.touched > self.stream_ttl
+                ]
+                for stream_id in expired:
+                    state = connection.streams.pop(stream_id)
+                    state.ingest.abort()
+                    self._release_stream_slot(state.entry, state.shard)
+                    connection.note_reaped(stream_id)
+                    self.metrics.record_reaped_stream()
+
+    # ------------------------------------------------------------------ #
     # connection handling
     # ------------------------------------------------------------------ #
 
@@ -394,7 +593,7 @@ class ValidationServer:
             await self._read_loop(connection, reader)
         finally:
             self._connections.discard(connection)
-            connection.streams.clear()
+            self._discard_streams(connection)
             task = asyncio.current_task()
             if task is not None:
                 self._conn_tasks.discard(task)
@@ -436,10 +635,15 @@ class ValidationServer:
             missing = [name for name in protocol.OPERATIONS[op] if name not in body]
             if missing:
                 raise OpError("bad-request", f"operation {op!r} is missing field(s) {missing}")
+            self._rate_admit(op, connection)
             result = await self._execute(op, body, blob, connection)
         except OpError as error:
             self.metrics.record_error(error.code)
-            await connection.send_safely(protocol.error_frame(request_id, error.code, error.message))
+            await connection.send_safely(
+                protocol.error_frame(
+                    request_id, error.code, error.message, retry_after=error.retry_after
+                )
+            )
             return
         except Exception as error:  # a bug, not a protocol situation -- still typed
             self.metrics.record_error("internal-error")
@@ -464,6 +668,14 @@ class ValidationServer:
                 "pong": True,
                 "protocol": protocol.PROTOCOL_VERSION,
                 "designs": sorted(self._designs),
+                "limits": {
+                    "max_frame_bytes": self.max_frame_bytes,
+                    "max_queue_depth": self.admission.max_queue_depth,
+                    "rate_limit": self.rate_limit,
+                    "stream_ttl": self.stream_ttl,
+                    "stream_inline_threshold": self.stream_inline_threshold,
+                    "max_streams_per_shard": self.max_streams_per_shard,
+                },
             }
         if op == "shutdown":
             return {"stopping": True}
@@ -500,6 +712,11 @@ class ValidationServer:
             "service": self.metrics.snapshot(),
             "queue_depth": self.admission.queue_depth,
             "open_streams": sum(len(c.streams) for c in self._connections),
+            "admission": {
+                "max_queue_depth": self.admission.max_queue_depth,
+                "retry_after_hint": self.admission.retry_after_hint(),
+                "rate_limited_clients": len(self._buckets),
+            },
             "designs": designs,
         }
 
@@ -553,9 +770,51 @@ class ValidationServer:
         payload = blob if blob else str(body.get("payload", "")).encode("utf-8")
         if not payload:
             raise OpError("bad-request", "publish carries no payload bytes")
-        self.design(design_id)  # fail fast before queueing
+        entry = self.design(design_id)  # fail fast before queueing
+        if (
+            self.stream_inline_threshold is not None
+            and len(payload) >= self.stream_inline_threshold
+        ):
+            return await self._publish_streamed(entry, function, payload)
         future = asyncio.get_running_loop().create_future()
         return await self.admission.submit(_Publication(design_id, function, payload, future))
+
+    async def _publish_streamed(
+        self, entry: RegisteredDesign, function: str, payload: bytes
+    ) -> dict:
+        """Settle one oversized ``publish`` through the streaming ingest.
+
+        Bypasses the micro-batch queue entirely: the payload is hashed and
+        DFA-stepped in O(depth) memory on the executor, and settlement
+        takes only the runtime's internal state lock -- large documents
+        neither occupy the admission queue nor stall a batch behind a
+        multi-second parse.
+        """
+        shard = self._acquire_stream_slot(entry, function)
+        try:
+
+            def settle():
+                ingest = entry.runtime.begin_stream(function)
+                ingest.feed(payload)
+                return entry.runtime.settle_stream(ingest)
+
+            try:
+                report, verdict = await self.run_in_executor(settle)
+            except ReproError as error:  # unknown function
+                raise OpError("unknown-function", str(error)) from None
+        finally:
+            self._release_stream_slot(entry, shard)
+        self.metrics.record_inline_stream()
+        if report.malformed:
+            raise OpError("invalid-xml", f"payload for {function!r} is not XML")
+        return {
+            "design": entry.design_id,
+            "clean": report.clean,
+            "function": function,
+            "valid": verdict,
+            "peer_valid": report.valid,
+            "peers_validated": 0 if report.clean else 1,
+        }
 
     def execute_publications(self, batch: list[_Publication]) -> list[tuple[_Publication, object]]:
         """Ingest one micro-batch and settle it with as few rounds as possible.
@@ -645,7 +904,14 @@ class ValidationServer:
         stream_id = body["stream"]
         state = connection.streams.get(stream_id)
         if state is None:
+            if stream_id in connection.reaped:
+                raise OpError(
+                    "stream-expired",
+                    f"publication stream {stream_id!r} idled past the "
+                    f"{self.stream_ttl}s TTL and was reaped; restart it",
+                )
             raise OpError("unknown-stream", f"no open publication stream {stream_id!r}")
+        state.touched = asyncio.get_running_loop().time()
         return state
 
     async def _stream_begin(self, body: dict, blob: bytes, connection: "_Connection") -> dict:
@@ -655,12 +921,18 @@ class ValidationServer:
         if stream_id in connection.streams:
             raise OpError("stream-exists", f"publication stream {stream_id!r} is already open")
         entry = self.design(design_id)
+        shard = self._acquire_stream_slot(entry, function)
         try:
             ingest = entry.runtime.begin_stream(function)
         except ReproError as error:
+            self._release_stream_slot(entry, shard)
             raise OpError("unknown-function", str(error)) from None
-        state = _StreamState(entry, ingest, asyncio.Lock(), function)
+        state = _StreamState(
+            entry, ingest, asyncio.Lock(), function,
+            shard=shard, touched=asyncio.get_running_loop().time(),
+        )
         connection.streams[stream_id] = state
+        connection.reaped.discard(stream_id)
         if blob:
             async with state.lock:
                 await self.run_in_executor(state.ingest.feed, blob)
@@ -681,17 +953,21 @@ class ValidationServer:
     async def _stream_end(self, body: dict, blob: bytes, connection: "_Connection") -> dict:
         state = self._stream_state(body, connection)
         del connection.streams[body["stream"]]
-        async with state.lock:
-            if blob:
-                await self.run_in_executor(state.ingest.feed, blob)
-                state.received += len(blob)
-            # Settlement mutates the runtime's incremental state: same
-            # exclusion as publish micro-batches and revalidation rounds.
-            # The global verdict is read under the same lock -- a concurrent
-            # batch on the executor must not tear it.
-            async with self.runtime_lock:
-                report = await self.run_in_executor(state.ingest.finish)
-                verdict = state.entry.runtime.current_verdict()
+        try:
+            async with state.lock:
+                if blob:
+                    await self.run_in_executor(state.ingest.feed, blob)
+                    state.received += len(blob)
+                # Settlement mutates the runtime's incremental state, but
+                # only briefly: the runtime's own state lock serialises it
+                # against batches and other streams, so concurrent streams
+                # on different connections settle in parallel up to that
+                # short critical section -- no global asyncio lock held.
+                report, verdict = await self.run_in_executor(
+                    state.entry.runtime.settle_stream, state.ingest
+                )
+        finally:
+            self._release_stream_slot(state.entry, state.shard)
         if report.malformed:
             raise OpError("invalid-xml", f"streamed payload for {state.function!r} is not XML")
         return {
@@ -754,7 +1030,7 @@ class ValidationServer:
 class _Connection:
     """One accepted socket: a writer plus its write lock and accounting."""
 
-    __slots__ = ("_server", "_writer", "_lock", "streams")
+    __slots__ = ("_server", "_writer", "_lock", "streams", "peer_host", "reaped")
 
     def __init__(self, server: ValidationServer, writer: asyncio.StreamWriter) -> None:
         self._server = server
@@ -764,6 +1040,19 @@ class _Connection:
         #: unfinished stream dies with its connection: nothing was settled,
         #: so the runtime never saw it.
         self.streams: dict = {}
+        peername = writer.get_extra_info("peername")
+        #: The token-bucket key: one bucket per client host, so a client's
+        #: pipelined connections share one admission budget.
+        self.peer_host: str = peername[0] if peername else "unknown"
+        #: Stream ids recently reclaimed by the TTL reaper, so a late
+        #: chunk/end gets a typed ``stream-expired`` instead of the
+        #: indistinguishable ``unknown-stream``.
+        self.reaped: set = set()
+
+    def note_reaped(self, stream_id) -> None:
+        if len(self.reaped) >= 128:  # bounded per connection
+            self.reaped.clear()
+        self.reaped.add(stream_id)
 
     async def send_safely(self, frame: bytes) -> None:
         """Write one frame; a peer that vanished is not an error."""
