@@ -373,6 +373,56 @@ def _scenario_service_overload(factor: float, peers: int, documents: int):
     return run, sizes
 
 
+def _scenario_federation_publish(pods: int, peers: int, documents: int):
+    """Steady-state publish round-trips through a directory + pod federation.
+
+    A thread-spawn federation (in-process servers on real loopback
+    sockets) is booted at build time; each timed round re-publishes
+    byte-identical payloads through the owning pods and reads the
+    directory's global verdict.  Relative to ``service_publish_*`` this
+    adds the orchestrator's routing, the pod's ``peer_verdict`` push
+    (inside the publish round-trip, by design) and one directory
+    ``global_verdict`` read per round.  The extra ``p50_ms`` is the
+    per-publish latency percentile.
+    """
+    from repro.federation import Federation
+    from repro.metrics import Histogram
+    from repro.trees.xml_io import tree_to_xml
+    from repro.workloads import synthetic
+
+    workload = synthetic.distributed_workload(
+        peers=peers, documents=documents, seed=0, invalid_rate=0.05,
+        records=5, fields=3,
+    )
+    federation = Federation(
+        workload.kernel, workload.typing, workload.initial_documents,
+        pods=pods, spawn="thread", workers=2,
+    )
+    _CLEANUPS.append(lambda: federation.close())
+    payloads = {f: tree_to_xml(doc) for f, doc in workload.initial_documents.items()}
+    for function, payload in payloads.items():
+        federation.publish(function, payload)  # first sight: validates
+    repeats = 4
+    sizes = {"pods": pods, "peers": peers, "publications_per_round": repeats * len(payloads)}
+
+    def run():
+        histogram = Histogram()
+        for _ in range(repeats):
+            for function, payload in payloads.items():
+                started = time.perf_counter()
+                result = federation.publish(function, payload)
+                histogram.record(1000 * (time.perf_counter() - started))
+                assert result["clean"]
+        verdict = federation.global_verdict()
+        assert verdict["complete"]
+        return {
+            "p50_ms": round(histogram.percentile(0.50), 4),
+            "global_verdict": verdict["valid"],
+        }
+
+    return run, sizes
+
+
 def _scenario_distributed_workload(strategy: str, peers: int, documents: int):
     """One full workload replay through the distributed runtime's driver.
 
@@ -438,6 +488,7 @@ def _scenarios(smoke: bool):
     if not smoke:
         yield "service_throughput_100", _scenario_service_throughput(100, 110)
     yield "service_overload_4x", _scenario_service_overload(4.0, 8, 40 if smoke else 80)
+    yield "federation_publish_2pods", _scenario_federation_publish(2, 4, 14)
 
 
 # --------------------------------------------------------------------------- #

@@ -26,6 +26,9 @@ _API_EXPORTS = (
     "CompilationEngine",
     "Design",
     "DesignReport",
+    "DesignSession",
+    "ExecutionConfig",
+    "Federation",
     "analyze_design",
     "bottom_up_design",
     "dtd",

@@ -13,11 +13,12 @@ True
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.errors import DesignError
+from repro.errors import DesignError, InvalidXMLError
 from repro.schemas.content_model import Formalism
 from repro.schemas.dtd import DTD
 from repro.schemas.dtd_text import parse_rules
@@ -32,6 +33,7 @@ from repro.core.existence import (
 )
 from repro.core.kernel import KernelTree
 from repro.core.typing import SchemaType, TreeTyping
+from repro.distributed.network import DistributedDocument
 from repro.distributed.runtime import ValidationRuntime, WorkloadDriver, WorkloadReport
 from repro.engine import (
     BatchValidator,
@@ -39,10 +41,13 @@ from repro.engine import (
     get_default_engine,
     use_engine,
 )
+from repro.federation import Federation
+from repro.service.client import ServiceClient
 from repro.service.server import ServiceHandle, ValidationServer
 from repro.streaming import StreamingValidator, streaming_validator_for
 from repro.trees.document import Tree
 from repro.trees.term import parse_term
+from repro.trees.xml_io import tree_from_xml
 from repro.workloads.synthetic import distributed_workload
 
 __all__ = [
@@ -56,12 +61,16 @@ __all__ = [
     "bottom_up_design",
     "Design",
     "DesignReport",
+    "DesignSession",
+    "ExecutionConfig",
+    "MODES",
     "analyze_design",
     "run_distributed_workload",
     "serve_design",
     "validate_stream",
     "BatchValidator",
     "CompilationEngine",
+    "Federation",
     "ServiceHandle",
     "StreamingValidator",
     "ValidationRuntime",
@@ -197,6 +206,405 @@ class DesignReport:
         return "\n".join(lines)
 
 
+# --------------------------------------------------------------------------- #
+# design sessions: one design, one execution substrate
+# --------------------------------------------------------------------------- #
+
+#: The execution substrates a :class:`DesignSession` can run on.
+MODES = ("serial", "runtime", "service", "federation")
+
+
+@dataclass
+class ExecutionConfig:
+    """How a :class:`DesignSession` executes validation.
+
+    ``mode`` picks the execution substrate:
+
+    * ``"serial"`` -- the paper's baseline: one
+      :class:`~repro.distributed.network.DistributedDocument`, every round
+      validated in sequence;
+    * ``"runtime"`` -- the sharded incremental
+      :class:`~repro.distributed.runtime.ValidationRuntime` (default);
+    * ``"service"`` -- a :class:`~repro.service.server.ValidationServer`
+      on a live loopback socket, driven through the frame protocol;
+    * ``"federation"`` -- a directory plus ``pods`` peer pods
+      (:class:`~repro.federation.Federation`), each owning a shard of the
+      design's functions.
+
+    ``backend`` selects the validation backend (``python`` / ``codegen``
+    / ``numpy``); ``workers``/``shards`` size the runtime; ``pods`` and
+    ``spawn`` (``"thread"`` or ``"process"``) shape the federation; and
+    ``server_options`` passes the service tier's overload knobs through
+    (``max_queue_depth``, ``rate_limit``, ``stream_ttl``, ...).
+    """
+
+    mode: str = "runtime"
+    backend: Optional[str] = None
+    workers: int = 4
+    shards: Optional[int] = None
+    pods: int = 2
+    spawn: str = "thread"
+    host: str = "127.0.0.1"
+    port: int = 0
+    design_id: str = "default"
+    chunk_bytes: int = 65536
+    server_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise DesignError(
+                f"unknown execution mode {self.mode!r}: expected one of {', '.join(MODES)}"
+            )
+
+
+def _payload_tree(payload: Union[Tree, str, bytes]) -> Tree:
+    if isinstance(payload, Tree):
+        return payload
+    if isinstance(payload, bytes):
+        payload = payload.decode("utf-8")
+    stripped = payload.strip()
+    if stripped.startswith("<"):
+        return tree_from_xml(stripped)
+    return parse_term(stripped)
+
+
+def _payload_bytes(payload) -> bytes:
+    if isinstance(payload, str):
+        return payload.encode("utf-8")
+    if isinstance(payload, bytes):
+        return payload
+    return b"".join(
+        chunk.encode("utf-8") if isinstance(chunk, str) else bytes(chunk) for chunk in payload
+    )
+
+
+class DesignSession:
+    """One design, published to and validated through a chosen substrate.
+
+    The single entry point that used to be spread over ``serve_design``,
+    ``run_distributed_workload`` and ``validate_stream``: build a session
+    from the design's ingredients (kernel, typing, seed documents) and an
+    :class:`ExecutionConfig`, then drive it with the same four verbs
+    regardless of where validation actually runs:
+
+    * :meth:`publish` -- one wire publication (XML text/bytes), answering
+      the design's global verdict after it settles;
+    * :meth:`publish_stream` -- the same through the chunked streaming
+      path (payload may be an iterable of chunks);
+    * :meth:`validate` -- the current global verdict;
+    * :meth:`report` -- a JSON-shaped description of the session.
+
+    Sessions own their substrate: ``close()`` (or the context manager)
+    shuts down the runtime's thread pool, the service's server thread, or
+    the whole federation.
+
+    >>> from repro import DesignSession, dtd
+    >>> schema = dtd("r", {"r": "a*"})
+    >>> with DesignSession("s(f1)", {"f1": schema}, {"f1": "r(a)"}) as session:
+    ...     session.publish("f1", "<r><a/><a/></r>")["valid"]
+    True
+    """
+
+    def __init__(
+        self,
+        kernel_document: Union[KernelTree, str, Tree],
+        typing: Union[TreeTyping, Mapping[str, SchemaType]],
+        documents: Mapping[str, Union[Tree, str]],
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> None:
+        if config is None:
+            config = ExecutionConfig(**overrides)
+        elif overrides:
+            raise DesignError("pass an ExecutionConfig or keyword overrides, not both")
+        self.config = config
+        if not isinstance(typing, TreeTyping):
+            typing = TreeTyping(typing)
+        if not isinstance(kernel_document, KernelTree):
+            kernel_document = kernel(kernel_document)
+        self.kernel = kernel_document
+        self.typing = typing
+        self.documents = {
+            function: tree(document) for function, document in documents.items()
+        }
+        self._closed = False
+        self._document: Optional[DistributedDocument] = None
+        self._runtime: Optional[ValidationRuntime] = None
+        self._handle: Optional[ServiceHandle] = None
+        self._client: Optional[ServiceClient] = None
+        self._federation: Optional[Federation] = None
+        if config.mode == "serial":
+            self._document = DistributedDocument(self.kernel, dict(self.documents))
+            self._document.propagate_typing(self.typing)
+        elif config.mode == "runtime":
+            self._runtime = ValidationRuntime(
+                DistributedDocument(self.kernel, dict(self.documents)),
+                max_workers=config.workers,
+                shards=config.shards,
+                validation_backend=config.backend,
+            )
+            self._runtime.propagate_typing(self.typing)
+        elif config.mode == "service":
+            options = dict(config.server_options)
+            options.setdefault("runtime_workers", config.workers)
+            if config.backend is not None:
+                options.setdefault("validation_backend", config.backend)
+            if config.shards is not None:
+                options.setdefault("runtime_shards", config.shards)
+            self._handle = self.serve(
+                self.kernel,
+                self.typing,
+                self.documents,
+                design_id=config.design_id,
+                host=config.host,
+                port=config.port,
+                **options,
+            )
+            self._client = ServiceClient(self._handle.host, self._handle.port)
+        else:  # federation (__post_init__ already vetted the mode)
+            self._federation = Federation(
+                self.kernel,
+                self.typing,
+                self.documents,
+                pods=config.pods,
+                design_id=config.design_id,
+                spawn=config.spawn,
+                host=config.host,
+                workers=config.workers,
+                validation_backend=config.backend,
+            )
+
+    # ------------------------------------------------------------------ #
+    # the four verbs
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mode(self) -> str:
+        return self.config.mode
+
+    @property
+    def endpoint(self) -> Optional[tuple[str, int]]:
+        """The dialable endpoint, when the substrate has one.
+
+        The service's socket, or the federation's directory; ``None`` for
+        the in-process substrates.
+        """
+        if self._handle is not None:
+            return (self._handle.host, self._handle.port)
+        if self._federation is not None:
+            return (self._federation.directory_host, self._federation.directory_port)
+        return None
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise DesignError("this design session is closed")
+
+    def publish(self, function: str, payload: Union[str, bytes]) -> dict:
+        """Publish one document and answer the global verdict after it settles."""
+        self._ensure_open()
+        if self._document is not None:
+            self._document.update_resource(function, _payload_tree(payload))
+            report = self._document.validate_locally()
+            return {"function": function, "clean": False, "valid": report.valid}
+        if self._runtime is not None:
+            clean = self._runtime.publish(function, payload)
+            report = self._runtime.validate_locally()
+            return {"function": function, "clean": clean, "valid": report.valid}
+        if self._client is not None:
+            return self._client.publish(self.config.design_id, function, payload)
+        result = dict(self._federation.publish(function, payload))
+        # A pod's own verdict covers only its fragment; the session answers
+        # the directory's global verdict (consistent by the time the
+        # publish reply arrives).
+        result["valid"] = self._federation.global_verdict()["valid"]
+        return result
+
+    def publish_stream(
+        self, function: str, payload, chunk_bytes: Optional[int] = None
+    ) -> dict:
+        """Publish through the chunked streaming path (no tree on the wire)."""
+        self._ensure_open()
+        chunk_bytes = chunk_bytes or self.config.chunk_bytes
+        if self._document is not None:
+            return self.publish(function, _payload_bytes(payload))
+        if self._runtime is not None:
+            report = self._runtime.publish_stream(function, payload, chunk_bytes)
+            if report.malformed:
+                raise InvalidXMLError(f"payload for {function!r} is not XML")
+            valid = self._runtime.current_verdict()
+            if valid is None:
+                valid = self._runtime.validate_locally().valid
+            return {"function": function, "clean": report.clean, "valid": valid}
+        if self._client is not None:
+            return self._client.publish_stream(
+                self.config.design_id, function, payload, chunk_bytes=chunk_bytes
+            )
+        result = dict(
+            self._federation.publish_stream(function, payload, chunk_bytes=chunk_bytes)
+        )
+        result["valid"] = self._federation.global_verdict()["valid"]
+        return result
+
+    def validate(self, force: bool = False) -> dict:
+        """The design's current global verdict (``{"valid": ...}``)."""
+        self._ensure_open()
+        if self._document is not None:
+            report = self._document.validate_locally()
+            return {"valid": report.valid, "mode": "serial"}
+        if self._runtime is not None:
+            report = self._runtime.validate_locally(force=force)
+            return {
+                "valid": report.valid,
+                "acks": self._runtime.peer_acks(),
+                "mode": "runtime",
+            }
+        if self._client is not None:
+            result = dict(self._client.revalidate(self.config.design_id, force=force))
+            result["mode"] = "service"
+            return result
+        result = dict(self._federation.global_verdict())
+        result["mode"] = "federation"
+        return result
+
+    def report(self) -> dict:
+        """A JSON-shaped description of the session and its verdict."""
+        verdict = self.validate()
+        described = {
+            "mode": self.config.mode,
+            "design": self.config.design_id,
+            "functions": sorted(self.documents),
+            "valid": verdict.get("valid"),
+        }
+        if self._runtime is not None:
+            described["acks"] = self._runtime.peer_acks()
+        if self._handle is not None:
+            described["endpoint"] = [self._handle.host, self._handle.port]
+        if self._federation is not None:
+            described["federation"] = self._federation.describe()
+        return described
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._client is not None:
+            self._client.close()
+        if self._handle is not None:
+            self._handle.close()
+        if self._runtime is not None:
+            self._runtime.close()
+        if self._federation is not None:
+            self._federation.close()
+
+    def __enter__(self) -> "DesignSession":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the bodies of the deprecated module-level entry points
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def serve(
+        kernel_document: Union[KernelTree, str, Tree],
+        typing: Union[TreeTyping, Mapping[str, SchemaType]],
+        documents: Mapping[str, Tree],
+        design_id: str = "default",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **server_options,
+    ) -> ServiceHandle:
+        """Boot a :class:`~repro.service.server.ValidationServer` for a design.
+
+        What :func:`serve_design` used to do: register the design (typing
+        propagated, seed documents validated), start the server on its own
+        thread and hand back the live
+        :class:`~repro.service.server.ServiceHandle`.
+        """
+        if not isinstance(typing, TreeTyping):
+            typing = TreeTyping(typing)
+        if not isinstance(kernel_document, KernelTree):
+            kernel_document = kernel(kernel_document)
+        server = ValidationServer(host=host, port=port, **server_options)
+        server.preload_design(design_id, kernel_document, typing, documents)
+        return ServiceHandle(server).start()
+
+    @staticmethod
+    def run_workload(
+        peers: int = 8,
+        documents: int = 64,
+        workers: int = 4,
+        shards: Optional[int] = None,
+        seed: int = 0,
+        invalid_rate: float = 0.05,
+        records: int = 12,
+        fields: int = 6,
+        strategies: tuple[str, ...] = ("serial", "runtime"),
+        backend: str = "thread",
+        validation_backend: Optional[str] = None,
+    ) -> WorkloadReport:
+        """Replay a synthetic workload and compare execution strategies.
+
+        What :func:`run_distributed_workload` used to do: build a
+        :func:`~repro.workloads.synthetic.distributed_workload` of
+        ``documents`` publications over ``peers`` peers and replay it
+        through the requested ``strategies`` (any of ``"serial"``,
+        ``"runtime"``, ``"centralized"``) with a
+        :class:`~repro.distributed.runtime.WorkloadDriver`.
+
+        >>> report = DesignSession.run_workload(peers=4, documents=12, workers=2)
+        >>> report.verdicts_agree
+        True
+        """
+        workload = distributed_workload(
+            peers=peers,
+            documents=documents,
+            seed=seed,
+            invalid_rate=invalid_rate,
+            records=records,
+            fields=fields,
+        )
+        driver = WorkloadDriver(
+            workload,
+            max_workers=workers,
+            shards=shards,
+            backend=backend,
+            validation_backend=validation_backend,
+        )
+        return driver.run(strategies)
+
+    @staticmethod
+    def stream_validate(
+        schema: SchemaType,
+        payload,
+        engine: Optional[CompilationEngine] = None,
+        chunk_bytes: int = 65536,
+        backend: Optional[str] = None,
+    ) -> bool:
+        """Validate serialised XML against a schema without building a tree.
+
+        What :func:`validate_stream` used to do: the event-driven twin of
+        ``BatchValidator(schema).validate(tree)``; ``payload`` may be a
+        whole document (``str``/``bytes``) or any iterable of chunks, and
+        the verdict matches the tree-based path for every schema kind
+        while working memory stays O(document depth).
+
+        >>> from repro import dtd
+        >>> DesignSession.stream_validate(dtd("r", {"r": "a*"}), "<r><a/></r>")
+        True
+        """
+        validator = streaming_validator_for(schema, engine, backend=backend)
+        if isinstance(payload, (str, bytes)):
+            return validator.validate_payload(payload, chunk_bytes)
+        return validator.validate_chunks(payload)
+
+
 def run_distributed_workload(
     peers: int = 8,
     documents: int = 64,
@@ -224,26 +632,28 @@ def run_distributed_workload(
     the ``serial`` strategy always uses the interpreted kernel, so the
     report's ``verdicts_agree`` doubles as a cross-backend differential.
 
-    >>> report = run_distributed_workload(peers=4, documents=12, workers=2)
-    >>> report.verdicts_agree
-    True
+    .. deprecated::
+        Use :meth:`DesignSession.run_workload` (same signature, same
+        report); this wrapper only adds a :class:`DeprecationWarning`.
     """
-    workload = distributed_workload(
+    warnings.warn(
+        "run_distributed_workload() is deprecated; use repro.DesignSession.run_workload()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DesignSession.run_workload(
         peers=peers,
         documents=documents,
+        workers=workers,
+        shards=shards,
         seed=seed,
         invalid_rate=invalid_rate,
         records=records,
         fields=fields,
-    )
-    driver = WorkloadDriver(
-        workload,
-        max_workers=workers,
-        shards=shards,
+        strategies=strategies,
         backend=backend,
         validation_backend=validation_backend,
     )
-    return driver.run(strategies)
 
 
 def validate_stream(
@@ -269,17 +679,18 @@ def validate_stream(
     backends trade the O(depth) memory bound for speed (the parser's
     element tree is materialised per document).
 
-    >>> from repro import dtd, validate_stream
-    >>> schema = dtd("r", {"r": "a*"})
-    >>> validate_stream(schema, "<r><a/><a/></r>")
-    True
-    >>> validate_stream(schema, b"<r><b/></r>")
-    False
+    .. deprecated::
+        Use :meth:`DesignSession.stream_validate` (same signature, same
+        verdict); this wrapper only adds a :class:`DeprecationWarning`.
     """
-    validator = streaming_validator_for(schema, engine, backend=backend)
-    if isinstance(payload, (str, bytes)):
-        return validator.validate_payload(payload, chunk_bytes)
-    return validator.validate_chunks(payload)
+    warnings.warn(
+        "validate_stream() is deprecated; use repro.DesignSession.stream_validate()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DesignSession.stream_validate(
+        schema, payload, engine=engine, chunk_bytes=chunk_bytes, backend=backend
+    )
 
 
 def serve_design(
@@ -305,17 +716,26 @@ def serve_design(
     ``rate_limit``, ``rate_burst``, ``stream_ttl``,
     ``stream_inline_threshold``, ``max_streams_per_shard``).
 
-    >>> from repro import serve_design  # doctest: +SKIP
-    >>> handle = serve_design(workload.kernel, workload.typing,
-    ...                       workload.initial_documents)  # doctest: +SKIP
+    .. deprecated::
+        Use :meth:`DesignSession.serve` (same signature, same handle) or a
+        ``DesignSession(..., mode="service")``; this wrapper only adds a
+        :class:`DeprecationWarning`.
     """
-    if not isinstance(typing, TreeTyping):
-        typing = TreeTyping(typing)
-    if not isinstance(kernel_document, KernelTree):
-        kernel_document = kernel(kernel_document)
-    server = ValidationServer(host=host, port=port, **server_options)
-    server.preload_design(design_id, kernel_document, typing, documents)
-    return ServiceHandle(server).start()
+    warnings.warn(
+        "serve_design() is deprecated; use repro.DesignSession.serve() or "
+        "DesignSession(..., mode='service')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DesignSession.serve(
+        kernel_document,
+        typing,
+        documents,
+        design_id=design_id,
+        host=host,
+        port=port,
+        **server_options,
+    )
 
 
 def analyze_design(

@@ -23,10 +23,19 @@ designer's tool:
   :mod:`repro.service.protocol` over the distributed runtime;
 * ``repro-design bench-serve --peers 8 --documents 64`` — boot a service
   on an ephemeral loopback port and drive it with the open-/closed-loop
-  load generator.
+  load generator;
+* ``repro-design directory --port 7500`` — run a federation directory
+  server (pod membership with heartbeat leases, typing versions, global
+  verdicts);
+* ``repro-design pod --pod-id pod-0 --directory HOST:PORT`` — run one
+  federation peer pod joined to its directory;
+* ``repro-design federate --pods 2 --spawn process`` — spawn a directory
+  plus N pods, replay a synthetic workload through the federation and
+  differentially check verdicts and state digests against a
+  single-process runtime.
 
-``distributed``, ``serve`` and ``bench-serve`` accept ``--json`` for
-machine-readable output (what CI and scripts consume).
+Every subcommand accepts ``--json`` for machine-readable output (what CI
+and scripts consume).
 
 Schema files may use either the W3C ``<!ELEMENT ...>`` syntax or the paper's
 arrow notation (``name -> content``); see :mod:`repro.schemas.dtd_text`.
@@ -42,6 +51,7 @@ from typing import Optional, Sequence
 
 from repro.api import analyze_design, bottom_up_design, kernel, top_down_design
 from repro.engine import CompilationEngine, use_engine
+from repro.engine.backends import BACKENDS
 from repro.errors import ReproError
 from repro.schemas.dtd_text import parse_dtd_text
 from repro.trees.term import parse_term
@@ -80,12 +90,27 @@ def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
-        choices=("python", "codegen", "numpy"),
+        choices=BACKENDS,
         default=None,
         help="validation backend (default: $REPRO_BACKEND, else the interpreted "
         "'python' oracle; 'codegen' compiles a per-schema validator, 'numpy' "
         "vectorizes many-documents-one-schema batches)",
     )
+
+
+def _add_json_argument(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help=f"emit {what} as machine-readable JSON"
+    )
+
+
+def _emit_json(payload: dict) -> None:
+    """The one JSON report emitter every ``--json`` flag funnels through."""
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _typing_dict(typing) -> dict:
+    return {function: schema.describe() for function, schema in typing.items()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,10 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     topdown.add_argument("--maximal", type=int, default=4, help="how many maximal local typings to list")
     _add_common_kernel_argument(topdown)
     _add_stats_argument(topdown)
+    _add_json_argument(topdown, "the analysis report")
 
     bottomup = subparsers.add_parser("bottomup", help="decide cons[S] for local schemas")
     _add_common_kernel_argument(bottomup)
     _add_stats_argument(bottomup)
+    _add_json_argument(bottomup, "the consistency report")
     bottomup.add_argument(
         "--type",
         action="append",
@@ -128,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(validate)
     _add_stats_argument(validate)
+    _add_json_argument(validate, "the verdict")
 
     distributed = subparsers.add_parser(
         "distributed",
@@ -322,6 +350,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the load report as machine-readable JSON"
     )
 
+    directory = subparsers.add_parser(
+        "directory",
+        help="run a federation directory server (membership, leases, global verdicts)",
+    )
+    directory.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    directory.add_argument("--port", type=int, default=7500, help="TCP port (0 picks an ephemeral one)")
+    directory.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port to this file once listening (for scripts and CI)",
+    )
+    directory.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a pod's membership lease stays fresh between heartbeats",
+    )
+    directory.add_argument(
+        "--shutdown-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shut down after this many seconds (otherwise serve until a shutdown request)",
+    )
+    directory.add_argument("--workers", type=int, default=2, help="runtime thread-pool size per design")
+    _add_json_argument(directory, "the endpoint announcement")
+
+    pod = subparsers.add_parser(
+        "pod",
+        help="run one federation peer pod joined to a directory",
+    )
+    pod.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    pod.add_argument("--port", type=int, default=0, help="TCP port (0 picks an ephemeral one)")
+    pod.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port to this file once listening (for scripts and CI)",
+    )
+    pod.add_argument("--pod-id", required=True, help="this pod's federation identity")
+    pod.add_argument(
+        "--directory",
+        default=None,
+        metavar="HOST:PORT",
+        help="directory endpoint to join (omit to run an unfederated pod)",
+    )
+    pod.add_argument(
+        "--lease-interval",
+        type=float,
+        default=5.0,
+        help="seconds between lease-renewal heartbeats to the directory",
+    )
+    pod.add_argument(
+        "--shutdown-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shut down after this many seconds (otherwise serve until a shutdown request)",
+    )
+    pod.add_argument("--workers", type=int, default=2, help="runtime thread-pool size per design")
+    _add_backend_argument(pod)
+    _add_json_argument(pod, "the endpoint announcement")
+
+    federate = subparsers.add_parser(
+        "federate",
+        help="spawn a directory + N pods and differentially check a workload through them",
+    )
+    federate.add_argument("--pods", type=int, default=2, help="number of peer pods")
+    federate.add_argument(
+        "--spawn",
+        choices=("thread", "process"),
+        default="thread",
+        help="run the directory and pods on threads in this process, or as child processes",
+    )
+    federate.add_argument("--peers", type=int, default=4, help="number of resource peers")
+    federate.add_argument(
+        "--documents", type=int, default=12, help="total publications (initial seeds + edits)"
+    )
+    federate.add_argument("--seed", type=int, default=0, help="workload random seed")
+    federate.add_argument(
+        "--invalid-rate", type=float, default=0.25, help="probability of a corrupt publication"
+    )
+    federate.add_argument("--workers", type=int, default=2, help="runtime thread-pool size per pod")
+    _add_backend_argument(federate)
+    _add_json_argument(federate, "the federation report")
+
     return parser
 
 
@@ -329,7 +444,24 @@ def _run_topdown(args: argparse.Namespace) -> int:
     target = _load_schema(args.schema, args.start)
     design = top_down_design(target, kernel(args.kernel))
     report = analyze_design(design, maximal_limit=args.maximal)
-    print(report.summary())
+    if args.json:
+        _emit_json(
+            {
+                "design": "topdown",
+                "schema_language": design.schema_language,
+                "kernel": str(design.kernel),
+                "local_typing_exists": report.has_local_typing,
+                "perfect_typing_exists": report.has_perfect_typing,
+                "perfect_typing": (
+                    _typing_dict(report.perfect_typing) if report.perfect_typing else None
+                ),
+                "maximal_local_typings": [
+                    _typing_dict(typing) for typing in report.maximal_local_typings
+                ],
+            }
+        )
+    else:
+        print(report.summary())
     return 0 if report.has_local_typing else 1
 
 
@@ -344,8 +476,29 @@ def _run_bottomup(args: argparse.Namespace) -> int:
         types[function.strip()] = _load_schema(path.strip())
     design = bottom_up_design(types, kernel(args.kernel))
     report = analyze_design(design)
-    print(report.summary())
     consistent = report.consistency.get("DTD")
+    if args.json:
+        _emit_json(
+            {
+                "design": "bottomup",
+                "kernel": str(design.kernel),
+                "consistency": {
+                    language: {
+                        "consistent": result.consistent,
+                        "reason": result.reason,
+                        "type_size": result.type_size if result.consistent else None,
+                        "result_type": (
+                            result.result_type.describe()
+                            if result.result_type is not None
+                            else None
+                        ),
+                    }
+                    for language, result in report.consistency.items()
+                },
+            }
+        )
+        return 0
+    print(report.summary())
     if consistent is not None and consistent.consistent and consistent.result_type is not None:
         print("\ntypeT(τn) as a DTD:")
         print(consistent.result_type.describe())
@@ -356,37 +509,43 @@ def _run_validate(args: argparse.Namespace) -> int:
     from repro.engine import BatchValidator
 
     schema = _load_schema(args.schema, args.start)
+    error: Optional[str] = None
     if args.stream:
-        from repro.api import validate_stream
+        from repro.streaming import streaming_validator_for
 
         payload = Path(args.document).read_bytes()
         if not payload.lstrip().startswith(b"<"):
             raise ReproError("--stream validates raw XML; the document is not XML")
-        if validate_stream(schema, payload, chunk_bytes=args.chunk_bytes, backend=args.backend):
-            print("valid")
-            return 0
-        print("invalid")
-        return 1
-    document = _load_document(args.document)
-    # Membership runs on the compiled schema (so --stats is meaningful and
-    # repeated validations share the compilation); the uncompiled path is
-    # only consulted for the human-readable explanation of a failure.
-    if BatchValidator(schema, backend=args.backend).validate(document):
+        validator = streaming_validator_for(schema, backend=args.backend)
+        valid = validator.validate_payload(payload, args.chunk_bytes)
+        mode = "stream"
+    else:
+        document = _load_document(args.document)
+        # Membership runs on the compiled schema (so --stats is meaningful and
+        # repeated validations share the compilation); the uncompiled path is
+        # only consulted for the human-readable explanation of a failure.
+        valid = BatchValidator(schema, backend=args.backend).validate(document)
+        if not valid:
+            error = str(schema.validation_error(document))
+        mode = "tree"
+    if args.json:
+        _emit_json({"valid": valid, "mode": mode, "error": error})
+    elif valid:
         print("valid")
-        return 0
-    print(f"invalid: {schema.validation_error(document)}")
-    return 1
+    else:
+        print("invalid" if error is None else f"invalid: {error}")
+    return 0 if valid else 1
 
 
 def _run_distributed(args: argparse.Namespace) -> int:
-    from repro.api import run_distributed_workload
+    from repro.api import DesignSession
 
     strategies = ["serial"]
     if not args.serial_only:
         strategies.append("runtime")
     if args.centralized:
         strategies.append("centralized")
-    report = run_distributed_workload(
+    report = DesignSession.run_workload(
         peers=args.peers,
         documents=args.documents,
         workers=args.workers,
@@ -408,9 +567,60 @@ def _run_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
+def _serve_until_shutdown(server, args: argparse.Namespace, role: str, extra=None) -> int:
+    """The serving core shared by ``serve``, ``directory`` and ``pod``.
+
+    Runs ``server`` until a shutdown request: installs SIGINT/SIGTERM
+    handlers that trigger the same graceful close as a shutdown frame,
+    announces the endpoint (one JSON line under ``--json``), writes the
+    bound port atomically to ``--port-file`` for pollers, and honours
+    ``--shutdown-after``.
+    """
     import asyncio
 
+    async def serve() -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        # Ctrl-C / SIGTERM trigger the same graceful close as a shutdown
+        # request: drain the admission queue, notify clients, join threads.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # non-unix platforms
+                pass
+        await server.start()
+        endpoint = {"role": role, "host": server.host, "port": server.port}
+        if extra is not None:
+            endpoint.update(extra(server))
+        if args.json:
+            print(json.dumps(endpoint), flush=True)
+        else:
+            print(f"{role} listening on {server.host}:{server.port}", flush=True)
+        if args.port_file is not None:
+            # Atomic: pollers watching for the file must never read it empty.
+            import os
+
+            staging = args.port_file.with_name(args.port_file.name + ".tmp")
+            staging.write_text(str(server.port), encoding="utf-8")
+            os.replace(staging, args.port_file)
+        if args.shutdown_after is not None:
+            loop.call_later(args.shutdown_after, server.request_shutdown)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        # Signal handler unavailable (non-unix): the loop died mid-flight
+        # with connections beyond help; still join executor and runtime
+        # threads so the process exits clean.
+        server.close_threads()
+    if not args.json:
+        print(f"{role} stopped")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.protocol import MAX_FRAME_BYTES
     from repro.service.server import DEFAULT_MAX_BATCH, ValidationServer
     from repro.workloads.synthetic import distributed_workload
@@ -444,44 +654,139 @@ def _run_serve(args: argparse.Namespace) -> int:
         server.preload_design(
             "workload", workload.kernel, workload.typing, workload.initial_documents
         )
+    return _serve_until_shutdown(
+        server,
+        args,
+        "validation service",
+        extra=lambda s: {"designs": sorted(s._designs)},
+    )
 
-    async def serve() -> None:
-        import signal
 
-        loop = asyncio.get_running_loop()
-        # Ctrl-C / SIGTERM trigger the same graceful close as a shutdown
-        # request: drain the admission queue, notify clients, join threads.
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(signum, server.request_shutdown)
-            except (NotImplementedError, RuntimeError):  # non-unix platforms
-                pass
-        await server.start()
-        endpoint = {"host": server.host, "port": server.port, "designs": sorted(server._designs)}
-        if args.json:
-            print(json.dumps(endpoint), flush=True)
-        else:
-            print(f"validation service listening on {server.host}:{server.port}", flush=True)
-        if args.port_file is not None:
-            # Atomic: pollers watching for the file must never read it empty.
-            import os
+def _run_directory(args: argparse.Namespace) -> int:
+    from repro.federation import DirectoryServer
 
-            staging = args.port_file.with_name(args.port_file.name + ".tmp")
-            staging.write_text(str(server.port), encoding="utf-8")
-            os.replace(staging, args.port_file)
-        if args.shutdown_after is not None:
-            loop.call_later(args.shutdown_after, server.request_shutdown)
-        await server.serve_forever()
+    server = DirectoryServer(
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        runtime_workers=args.workers,
+    )
+    return _serve_until_shutdown(
+        server,
+        args,
+        "federation directory",
+        extra=lambda s: {"lease_ttl": s.lease_ttl},
+    )
 
-    try:
-        asyncio.run(serve())
-    except KeyboardInterrupt:
-        # Signal handler unavailable (non-unix): the loop died mid-flight
-        # with connections beyond help; still join executor and runtime
-        # threads so the process exits clean.
-        server.close_threads()
-    if not args.json:
-        print("validation service stopped")
+
+def _run_pod(args: argparse.Namespace) -> int:
+    from repro.federation import PodServer
+
+    directory_host, directory_port = None, None
+    if args.directory is not None:
+        endpoint, _, port_text = args.directory.rpartition(":")
+        if not endpoint or not port_text.isdigit():
+            raise ReproError(f"cannot parse --directory {args.directory!r}; expected HOST:PORT")
+        directory_host, directory_port = endpoint, int(port_text)
+    server = PodServer(
+        host=args.host,
+        port=args.port,
+        pod_id=args.pod_id,
+        directory_host=directory_host,
+        directory_port=directory_port,
+        lease_interval=args.lease_interval,
+        runtime_workers=args.workers,
+        validation_backend=args.backend,
+    )
+    return _serve_until_shutdown(
+        server,
+        args,
+        f"federation pod {args.pod_id}",
+        extra=lambda s: {"pod": s.pod_id, "directory": args.directory},
+    )
+
+
+def _run_federate(args: argparse.Namespace) -> int:
+    from repro.distributed.network import DistributedDocument
+    from repro.distributed.runtime import ValidationRuntime
+    from repro.federation import Federation
+    from repro.service.loadgen import publication_stream
+    from repro.workloads.synthetic import distributed_workload
+
+    workload = distributed_workload(
+        peers=args.peers,
+        documents=args.documents,
+        seed=args.seed,
+        invalid_rate=args.invalid_rate,
+    )
+    reference = ValidationRuntime(
+        DistributedDocument(workload.kernel, dict(workload.initial_documents)),
+        max_workers=args.workers,
+        validation_backend=args.backend,
+    )
+    reference.propagate_typing(workload.typing)
+    publications = list(publication_stream(workload))
+    mismatches = 0
+    with Federation(
+        workload.kernel,
+        workload.typing,
+        workload.initial_documents,
+        pods=args.pods,
+        spawn=args.spawn,
+        workers=args.workers,
+        validation_backend=args.backend,
+    ) as federation:
+        for function, payload in publications:
+            federation.publish(function, payload)
+            # The publish reply implies the directory already holds this
+            # pod's verdict, so the global verdict is strictly consistent.
+            fed_valid = federation.global_verdict()["valid"]
+            reference.publish(function, payload)
+            ref_valid = reference.validate_locally().valid
+            if fed_valid is None or bool(fed_valid) is not bool(ref_valid):
+                mismatches += 1
+        verdict = federation.global_verdict()
+        digest_fed = federation.state_digest()
+        acks_fed = federation.peer_acks()
+        description = federation.describe()
+        closed = federation.close()
+    digest_ref = reference.state_digest()
+    acks_ref = reference.peer_acks()
+    reference.close()
+    report = {
+        "spawn": args.spawn,
+        "pods": len(description["pods"]),
+        "publications": len(publications),
+        "verdict_mismatches": mismatches,
+        "global_verdict": verdict,
+        "digest_federated": digest_fed,
+        "digest_reference": digest_ref,
+        "digests_match": digest_fed == digest_ref,
+        "acks_match": acks_fed == acks_ref,
+        "clean_shutdown": closed["clean"],
+    }
+    ok = (
+        mismatches == 0
+        and report["digests_match"]
+        and report["acks_match"]
+        and verdict["complete"]
+        and closed["clean"]
+    )
+    if args.json:
+        _emit_json(report)
+    else:
+        print(
+            f"federation of {report['pods']} pods ({args.spawn} spawn): "
+            f"{report['publications']} publications"
+        )
+        print(f"  global verdict: valid={verdict['valid']} complete={verdict['complete']}")
+        print(f"  verdict mismatches vs in-process runtime: {mismatches}")
+        print(f"  state digests match: {report['digests_match']}")
+        print(f"  per-peer acks match: {report['acks_match']}")
+        print(f"  clean shutdown: {closed['clean']}")
+    if not ok:
+        print("error: federation differential check failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -624,6 +929,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _run_serve,
         "bench-stream": _run_bench_stream,
         "bench-serve": _run_bench_serve,
+        "directory": _run_directory,
+        "pod": _run_pod,
+        "federate": _run_federate,
     }
     # Each invocation runs on a fresh engine so that --stats reports the hit
     # rates of this run alone, not of the whole process.

@@ -29,6 +29,8 @@ from repro.distributed.runtime.runtime import (
     StreamIngest,
     StreamPublishReport,
     ValidationRuntime,
+    merge_states,
+    state_digest_of,
 )
 from repro.distributed.runtime.scheduler import ShardScheduler
 from repro.distributed.runtime.sharding import ShardMap
@@ -45,4 +47,6 @@ __all__ = [
     "ValidationRuntime",
     "WorkloadDriver",
     "WorkloadReport",
+    "merge_states",
+    "state_digest_of",
 ]

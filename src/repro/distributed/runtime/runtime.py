@@ -69,6 +69,38 @@ from repro.trees.xml_io import tree_from_xml
 _NO_DOCUMENT = "<no-document>"
 
 
+def state_digest_of(state: dict) -> str:
+    """The canonical digest of an exported runtime state dict.
+
+    Module-level so a federation orchestrator can merge the per-pod
+    exports of :meth:`ValidationRuntime.export_state` and digest the
+    union with exactly the encoding a single-process runtime uses --
+    the digests are then comparable byte for byte.
+    """
+    encoded = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def merge_states(states) -> dict:
+    """Union per-function validation states exported by disjoint runtimes.
+
+    Each pod of a federation owns a disjoint subset of the design's
+    functions, so its :meth:`ValidationRuntime.export_state` covers only
+    those; the union over all pods reconstructs the state a single
+    runtime holding every function would export.  ``pending`` entries
+    (queued wire publications) are unioned and re-sorted.
+    """
+    merged: dict = {"acks": {}, "validated_fp": {}, "current_fp": {}, "pending": []}
+    pending: set[str] = set()
+    for state in states:
+        merged["acks"].update(state.get("acks", {}))
+        merged["validated_fp"].update(state.get("validated_fp", {}))
+        merged["current_fp"].update(state.get("current_fp", {}))
+        pending.update(state.get("pending", ()))
+    merged["pending"] = sorted(pending)
+    return merged
+
+
 def resolve_pool(peer_count: int, max_workers: Optional[int], shards: Optional[int]) -> tuple[int, int]:
     """The ``(workers, shard_count)`` a runtime resolves its defaults to.
 
@@ -405,6 +437,10 @@ class ValidationRuntime:
         #: validator, so re-propagating a typing behind the runtime's back
         #: (``document.propagate_typing``) forces revalidation.
         self._ack_validator: dict[str, object] = {}
+        #: Incremented on every typing propagation.  Federation pods stamp
+        #: their exported verdicts with it so the directory can fence acks
+        #: computed against a superseded typing.
+        self.typing_version = 0
 
     # ------------------------------------------------------------------ #
     # typing propagation (parallel compilation, one engine per shard)
@@ -449,6 +485,7 @@ class ValidationRuntime:
         self._acks.clear()
         self._validated_fp.clear()
         self._ack_validator.clear()
+        self.typing_version += 1
 
     # ------------------------------------------------------------------ #
     # document updates (content-addressed dirtiness)
@@ -751,27 +788,36 @@ class ValidationRuntime:
                 return None
             return all(self._acks[function] for function in self.document.resources)
 
-    def state_digest(self) -> str:
-        """A content address over the runtime's observable validation state.
+    def export_state(self) -> dict:
+        """The runtime's observable validation state, as plain JSON data.
 
         Covers the per-peer content fingerprints (which address the
         documents themselves), the cached acknowledgements and the
         fingerprints they were computed for, and the set of queued wire
-        publications.  Two runtimes that answer every future request
-        identically digest identically -- what the crash-mid-stream tests
-        compare: a connection severed before ``publish_stream_end`` must
-        leave this digest byte-identical to a run where the stream never
-        began.
+        publications.  Because every fingerprint is content-addressed
+        (``tree:`` over the document structure, ``wire:`` over payload
+        bytes), exports are comparable across processes: a federation
+        merges per-pod exports with :func:`merge_states` and digests the
+        union with :func:`state_digest_of` to compare against a
+        single-process runtime.
         """
         with self._state_lock:
-            state = {
-                "acks": self._acks,
-                "validated_fp": self._validated_fp,
-                "current_fp": self._current_fp,
+            return {
+                "acks": dict(self._acks),
+                "validated_fp": dict(self._validated_fp),
+                "current_fp": dict(self._current_fp),
                 "pending": sorted(self._pending_payloads),
             }
-        encoded = json.dumps(state, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def state_digest(self) -> str:
+        """A content address over the runtime's observable validation state.
+
+        Two runtimes that answer every future request identically digest
+        identically -- what the crash-mid-stream tests compare: a
+        connection severed before ``publish_stream_end`` must leave this
+        digest byte-identical to a run where the stream never began.
+        """
+        return state_digest_of(self.export_state())
 
     # ------------------------------------------------------------------ #
     # statistics and lifecycle

@@ -124,6 +124,7 @@ class _RequestMixin:
         schemas: Mapping[str, object],
         documents: Mapping[str, str],
         replace: bool = False,
+        typing_version: Optional[int] = None,
     ):
         fields = {
             "design": design,
@@ -133,6 +134,9 @@ class _RequestMixin:
         }
         if replace:
             fields["replace"] = True
+        if typing_version is not None:
+            # Federation pods fence their exported verdicts with this.
+            fields["typing_version"] = typing_version
         return self._call("register_design", fields)
 
     def publish(self, design: str, function: str, payload: Union[str, bytes]):
@@ -152,6 +156,37 @@ class _RequestMixin:
 
     def shutdown(self):
         return self._call("shutdown")
+
+    # -- federation verbs (served by directory servers / peer pods) ------ #
+
+    def join(self, pod: str, functions, endpoint=None):
+        fields = {"pod": pod, "functions": list(functions)}
+        if endpoint is not None:
+            fields["endpoint"] = list(endpoint)
+        return self._call("join", fields)
+
+    def lease_renew(self, pod: str):
+        return self._call("lease_renew", {"pod": pod})
+
+    def typing_update(self, version: int):
+        return self._call("typing_update", {"version": version})
+
+    def peer_verdict(self, pod: str, design: str, acks: Mapping[str, bool], typing_version: int):
+        return self._call(
+            "peer_verdict",
+            {
+                "pod": pod,
+                "design": design,
+                "acks": dict(acks),
+                "typing_version": typing_version,
+            },
+        )
+
+    def global_verdict(self, design: str):
+        return self._call("global_verdict", {"design": design})
+
+    def pod_state(self, design: str):
+        return self._call("pod_state", {"design": design})
 
 
 class ServiceClient(_RequestMixin):

@@ -308,6 +308,16 @@ OPERATIONS = {
     "revalidate": ("design",),
     "stats": (),
     "shutdown": (),
+    # Federation ops (peer<->peer / pod<->directory; see repro.federation).
+    # A directory server accepts the membership and verdict ops; a peer pod
+    # additionally answers ``pod_state`` with its runtime's exported state.
+    # A plain validation server answers all of them with ``unsupported-op``.
+    "join": ("pod", "functions"),
+    "lease_renew": ("pod",),
+    "typing_update": ("version",),
+    "peer_verdict": ("pod", "design", "acks", "typing_version"),
+    "global_verdict": ("design",),
+    "pod_state": ("design",),
 }
 
 

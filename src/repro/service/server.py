@@ -637,6 +637,11 @@ class ValidationServer:
                 raise OpError("bad-request", f"operation {op!r} is missing field(s) {missing}")
             self._rate_admit(op, connection)
             result = await self._execute(op, body, blob, connection)
+            # Role hook (federation pods push verdicts to their directory
+            # here): runs after the op mutated state but *before* the
+            # result frame is sent, so a client that sees a publish reply
+            # can immediately observe its effect at the directory.
+            await self._post_op(op, body, result)
         except OpError as error:
             self.metrics.record_error(error.code)
             await connection.send_safely(
@@ -695,7 +700,23 @@ class ValidationServer:
             return await self._validate(body, blob)
         if op == "revalidate":
             return await self._revalidate(body)
-        raise OpError("unknown-op", f"unknown operation {op!r}")  # pragma: no cover
+        # Ops that exist in the protocol vocabulary but that this server
+        # role does not serve (the federation ops on a plain validation
+        # server).  Distinct from ``unknown-op``: the client spoke the
+        # protocol correctly, it just dialled the wrong kind of server.
+        raise OpError(
+            "unsupported-op",
+            f"operation {op!r} is not served by this {type(self).__name__}",
+        )
+
+    async def _post_op(self, op: str, body: dict, result: dict) -> None:
+        """Role hook called after every successful op, before the reply.
+
+        The base server does nothing; :class:`repro.federation.PodServer`
+        overrides it to push verdict updates to its directory so the
+        directory view is consistent by the time the client's reply lands.
+        """
+        return None
 
     def _stats(self) -> dict:
         designs = {}

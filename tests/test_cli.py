@@ -47,6 +47,17 @@ class TestTopDown:
         assert exit_code == 1
         assert "local typing exists:   False" in capsys.readouterr().out
 
+    def test_json_report(self, schema_file, capsys):
+        exit_code = main(
+            ["topdown", "--schema", str(schema_file), "--kernel",
+             "eurostat(averages(f0) f1 f2)", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert report["design"] == "topdown"
+        assert report["perfect_typing_exists"] is True
+        assert set(report["perfect_typing"]) == {"f0", "f1", "f2"}
+
 
 class TestBottomUp:
     def test_consistency_report(self, tmp_path, capsys):
@@ -84,6 +95,22 @@ class TestBottomUp:
 
     def test_malformed_type_assignment(self, capsys):
         assert main(["bottomup", "--kernel", "s0(f1)", "--type", "nonsense"]) == 2
+
+    def test_json_report(self, tmp_path, capsys):
+        first = tmp_path / "t1.txt"
+        first.write_text("s1 -> b", encoding="utf-8")
+        second = tmp_path / "t2.txt"
+        second.write_text("s2 -> c", encoding="utf-8")
+        exit_code = main(
+            ["bottomup", "--kernel", "s0(a(f1) a(f2))", "--type", f"f1={first}",
+             "--type", f"f2={second}", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert report["design"] == "bottomup"
+        assert report["consistency"]["EDTD"]["consistent"] is True
+        assert report["consistency"]["DTD"]["consistent"] is False
+        assert report["consistency"]["DTD"]["type_size"] is None
 
 
 class TestValidate:
@@ -145,6 +172,37 @@ class TestValidate:
         )
         assert code == 2
         assert "not XML" in capsys.readouterr().err
+
+    def test_json_verdicts(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text(
+            "<eurostat><averages><Good/><index><value/><year/></index></averages></eurostat>",
+            encoding="utf-8",
+        )
+        assert main(
+            ["validate", "--schema", str(schema_file), "--document", str(document), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"valid": True, "mode": "tree", "error": None}
+        bad = tmp_path / "bad.term"
+        bad.write_text("eurostat(nationalIndex(country))", encoding="utf-8")
+        assert main(
+            ["validate", "--schema", str(schema_file), "--document", str(bad), "--json"]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"] is False
+        assert report["error"]
+
+    def test_json_stream_verdict(self, schema_file, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<eurostat><nationalIndex/></eurostat>", encoding="utf-8")
+        code = main(
+            ["validate", "--schema", str(schema_file), "--document", str(document),
+             "--stream", "--json"]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"valid": False, "mode": "stream", "error": None}
 
 
 class TestBenchStream:
@@ -317,3 +375,77 @@ class TestStats:
     def test_stats_flag_off_by_default(self, schema_file, capsys):
         main(["topdown", "--schema", str(schema_file), "--kernel", "eurostat(averages(f0) f1 f2)"])
         assert "engine cache:" not in capsys.readouterr().out
+
+
+class TestFederationCLI:
+    def test_directory_and_pod_round_trip(self, tmp_path):
+        """Boot a directory and a pod via their subcommands, join them."""
+        from repro.service.client import ServiceClient
+
+        dir_port_file = tmp_path / "dir.port"
+        pod_port_file = tmp_path / "pod.port"
+        codes: dict = {}
+
+        def wait_for(path):
+            deadline = time.time() + 10
+            while not path.exists() and time.time() < deadline:
+                time.sleep(0.02)
+            return int(path.read_text(encoding="utf-8"))
+
+        def run_directory():
+            codes["directory"] = main(
+                ["directory", "--port", "0", "--port-file", str(dir_port_file),
+                 "--shutdown-after", "30", "--json"]
+            )
+
+        dir_thread = threading.Thread(target=run_directory, daemon=True)
+        dir_thread.start()
+        dir_port = wait_for(dir_port_file)
+
+        def run_pod():
+            codes["pod"] = main(
+                ["pod", "--port", "0", "--port-file", str(pod_port_file),
+                 "--pod-id", "pod-cli", "--directory", f"127.0.0.1:{dir_port}",
+                 "--shutdown-after", "30", "--json"]
+            )
+
+        pod_thread = threading.Thread(target=run_pod, daemon=True)
+        pod_thread.start()
+        pod_port = wait_for(pod_port_file)
+        try:
+            with ServiceClient("127.0.0.1", dir_port) as dir_client:
+                membership = None
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    # The pod joins on start; poll until the join lands.
+                    if dir_client.lease_renew("pod-cli").get("pod") == "pod-cli":
+                        membership = True
+                        break
+                assert membership
+        finally:
+            with ServiceClient("127.0.0.1", pod_port) as client:
+                client.shutdown()
+            with ServiceClient("127.0.0.1", dir_port) as client:
+                client.shutdown()
+        pod_thread.join(15)
+        dir_thread.join(15)
+        assert not pod_thread.is_alive() and not dir_thread.is_alive()
+        assert codes == {"directory": 0, "pod": 0}
+
+    def test_pod_rejects_unparsable_directory_endpoint(self, capsys):
+        assert main(["pod", "--pod-id", "p", "--directory", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_federate_thread_spawn_differential(self, capsys):
+        exit_code = main(
+            ["federate", "--pods", "2", "--spawn", "thread", "--peers", "4",
+             "--documents", "10", "--seed", "3", "--invalid-rate", "0.3", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert report["pods"] == 2
+        assert report["verdict_mismatches"] == 0
+        assert report["digests_match"] is True
+        assert report["acks_match"] is True
+        assert report["global_verdict"]["complete"] is True
+        assert report["clean_shutdown"] is True
