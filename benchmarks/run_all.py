@@ -317,6 +317,103 @@ def _scenario_service_throughput(peers: int, documents: int):
     return run, sizes
 
 
+def _scenario_observability_overhead(peers: int, documents: int):
+    """The cost of full observability on the closed-loop throughput headline.
+
+    One server carrying the full observability stack -- labeled metric
+    families, the ``/metrics`` exporter, an enabled trace ring -- driven
+    with the same workload twice per measurement: once with
+    per-publication tracing on (every publication mints and propagates a
+    fresh trace id), once dormant (no ids, so every record short-circuits
+    and the exporter sits idle).  Using *one* server instance is the
+    point: two separately-booted servers differ by up to ~10% from
+    thread placement and allocator state alone, which drowns the few
+    percent being measured.  Each round runs several back-to-back ABBA
+    cycles (off/on/on/off, direction alternating) so drive-order bias
+    cancels and load drift covers both sides equally.
+
+    The gated number, ``observability_overhead_pct``, is the ratio of
+    *lower-quartile per-drive process-CPU* (traced vs dormant), pooled
+    across every drive of the whole bench run.  Wall-clock throughput
+    ratios on this workload are bimodal at +-10% -- scheduler/core-
+    placement states persist across whole 50 ms drives -- and no
+    feasible number of drives stabilizes their median, while CPU noise
+    is one-sided (interference and batching under-amortization only add
+    cycles), so the low quartile converges on the true per-publication
+    cost; an A/A run of the same harness reads ~0%.  Throughput medians
+    are still reported alongside for the headline.  The CI bench job
+    gates the overhead at <= 5%.
+    """
+    import gc
+
+    from repro.service.loadgen import run_load
+    from repro.service.server import ServiceHandle, ValidationServer
+    from repro.workloads import synthetic
+
+    workload = synthetic.distributed_workload(
+        peers=peers, documents=documents, seed=0, invalid_rate=0.05
+    )
+    handle = ServiceHandle(ValidationServer(metrics_port=0)).start()
+    _CLEANUPS.append(handle.close)
+    run_load(handle.host, handle.port, workload, design="bench", clients=4, pipeline=8)
+    plain_cpu: list[float] = []
+    observed_cpu: list[float] = []
+    plain_tps: list[float] = []
+    observed_tps: list[float] = []
+    rounds = documents - peers + 1
+    sizes = {"peers": peers, "documents": documents, "publications": rounds * peers, "clients": 4}
+
+    def drive(trace):
+        # Collect *between* drives so a full collection's pause never
+        # lands inside one side of a pair (the peers' network logs keep
+        # the heap growing across drives).
+        gc.collect()
+        start = time.process_time()
+        report = run_load(
+            handle.host, handle.port, workload, design="bench",
+            clients=4, pipeline=8, register=False, trace=trace,
+        )
+        cpu = time.process_time() - start
+        assert report.errors == 0
+        return cpu, report.throughput
+
+    def lower_quartile(values):
+        return statistics.quantiles(values, n=4)[0] if len(values) > 1 else values[0]
+
+    def run():
+        observed = 0.0
+        for cycle in range(3):
+            # The cycle direction alternates (ABBA then BAAB) so any
+            # position-in-cycle effect lands on each side equally often.
+            if cycle % 2 == 0:
+                off_a = drive(trace=False)
+                on_a = drive(trace=True)
+                on_b = drive(trace=True)
+                off_b = drive(trace=False)
+            else:
+                on_a = drive(trace=True)
+                off_a = drive(trace=False)
+                off_b = drive(trace=False)
+                on_b = drive(trace=True)
+            plain_cpu.extend((off_a[0], off_b[0]))
+            observed_cpu.extend((on_a[0], on_b[0]))
+            plain_tps.extend((off_a[1], off_b[1]))
+            observed_tps.extend((on_a[1], on_b[1]))
+            observed = on_b[1]
+        ratio = lower_quartile(observed_cpu) / max(lower_quartile(plain_cpu), 1e-9)
+        overhead = max(0.0, (ratio - 1.0) * 100.0)
+        return {
+            "throughput_per_s": round(observed, 1),
+            "plain_throughput_per_s": round(statistics.median(plain_tps), 1),
+            "observed_throughput_per_s": round(statistics.median(observed_tps), 1),
+            "plain_cpu_s_per_drive": round(lower_quartile(plain_cpu), 5),
+            "observed_cpu_s_per_drive": round(lower_quartile(observed_cpu), 5),
+            "observability_overhead_pct": round(overhead, 2),
+        }
+
+    return run, sizes
+
+
 def _scenario_service_overload(factor: float, peers: int, documents: int):
     """Goodput under deliberate overload: offered load at ``factor`` times
     the unloaded closed-loop capacity, retrying clients against a bounded
@@ -485,6 +582,7 @@ def _scenarios(smoke: bool):
     for quantile in ("p50", "p99"):
         yield f"service_publish_{quantile}", _scenario_service_publish(quantile)
     yield "service_throughput_8", _scenario_service_throughput(8, documents)
+    yield "service_throughput_8_observed", _scenario_observability_overhead(8, documents)
     if not smoke:
         yield "service_throughput_100", _scenario_service_throughput(100, 110)
     yield "service_overload_4x", _scenario_service_overload(4.0, 8, 40 if smoke else 80)

@@ -42,6 +42,7 @@ from repro.engine import (
     use_engine,
 )
 from repro.federation import Federation
+from repro.observability.tracing import TraceRecorder, new_trace_id
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceHandle, ValidationServer
 from repro.streaming import StreamingValidator, streaming_validator_for
@@ -76,6 +77,7 @@ __all__ = [
     "ValidationRuntime",
     "WorkloadReport",
     "get_default_engine",
+    "new_trace_id",
     "use_engine",
 ]
 
@@ -236,6 +238,10 @@ class ExecutionConfig:
     ``spawn`` (``"thread"`` or ``"process"``) shape the federation; and
     ``server_options`` passes the service tier's overload knobs through
     (``max_queue_depth``, ``rate_limit``, ``stream_ttl``, ...).
+
+    ``metrics_port`` turns on the Prometheus /metrics exposition for the
+    socketed substrates (``0`` picks an ephemeral port): the service's
+    server, or every member of the federation.
     """
 
     mode: str = "runtime"
@@ -249,6 +255,7 @@ class ExecutionConfig:
     design_id: str = "default"
     chunk_bytes: int = 65536
     server_options: dict = field(default_factory=dict)
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -328,6 +335,7 @@ class DesignSession:
             function: tree(document) for function, document in documents.items()
         }
         self._closed = False
+        self._tracer: Optional[TraceRecorder] = None
         self._document: Optional[DistributedDocument] = None
         self._runtime: Optional[ValidationRuntime] = None
         self._handle: Optional[ServiceHandle] = None
@@ -337,11 +345,13 @@ class DesignSession:
             self._document = DistributedDocument(self.kernel, dict(self.documents))
             self._document.propagate_typing(self.typing)
         elif config.mode == "runtime":
+            self._tracer = TraceRecorder(component="runtime")
             self._runtime = ValidationRuntime(
                 DistributedDocument(self.kernel, dict(self.documents)),
                 max_workers=config.workers,
                 shards=config.shards,
                 validation_backend=config.backend,
+                tracer=self._tracer,
             )
             self._runtime.propagate_typing(self.typing)
         elif config.mode == "service":
@@ -351,6 +361,8 @@ class DesignSession:
                 options.setdefault("validation_backend", config.backend)
             if config.shards is not None:
                 options.setdefault("runtime_shards", config.shards)
+            if config.metrics_port is not None:
+                options.setdefault("metrics_port", config.metrics_port)
             self._handle = self.serve(
                 self.kernel,
                 self.typing,
@@ -372,6 +384,7 @@ class DesignSession:
                 host=config.host,
                 workers=config.workers,
                 validation_backend=config.backend,
+                metrics=config.metrics_port is not None,
             )
 
     # ------------------------------------------------------------------ #
@@ -399,20 +412,32 @@ class DesignSession:
         if self._closed:
             raise DesignError("this design session is closed")
 
-    def publish(self, function: str, payload: Union[str, bytes]) -> dict:
-        """Publish one document and answer the global verdict after it settles."""
+    def publish(
+        self,
+        function: str,
+        payload: Union[str, bytes],
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """Publish one document and answer the global verdict after it settles.
+
+        ``trace_id`` (mint one with :func:`repro.new_trace_id`) stamps the
+        publication's lifecycle events into the substrate's trace ring;
+        read them back with :meth:`trace`.
+        """
         self._ensure_open()
         if self._document is not None:
             self._document.update_resource(function, _payload_tree(payload))
             report = self._document.validate_locally()
             return {"function": function, "clean": False, "valid": report.valid}
         if self._runtime is not None:
-            clean = self._runtime.publish(function, payload)
+            clean = self._runtime.publish(function, payload, trace_id=trace_id)
             report = self._runtime.validate_locally()
             return {"function": function, "clean": clean, "valid": report.valid}
         if self._client is not None:
-            return self._client.publish(self.config.design_id, function, payload)
-        result = dict(self._federation.publish(function, payload))
+            return self._client.publish(
+                self.config.design_id, function, payload, trace_id=trace_id
+            )
+        result = dict(self._federation.publish(function, payload, trace_id=trace_id))
         # A pod's own verdict covers only its fragment; the session answers
         # the directory's global verdict (consistent by the time the
         # publish reply arrives).
@@ -420,7 +445,11 @@ class DesignSession:
         return result
 
     def publish_stream(
-        self, function: str, payload, chunk_bytes: Optional[int] = None
+        self,
+        function: str,
+        payload,
+        chunk_bytes: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """Publish through the chunked streaming path (no tree on the wire)."""
         self._ensure_open()
@@ -437,13 +466,35 @@ class DesignSession:
             return {"function": function, "clean": report.clean, "valid": valid}
         if self._client is not None:
             return self._client.publish_stream(
-                self.config.design_id, function, payload, chunk_bytes=chunk_bytes
+                self.config.design_id,
+                function,
+                payload,
+                chunk_bytes=chunk_bytes,
+                trace_id=trace_id,
             )
         result = dict(
-            self._federation.publish_stream(function, payload, chunk_bytes=chunk_bytes)
+            self._federation.publish_stream(
+                function, payload, chunk_bytes=chunk_bytes, trace_id=trace_id
+            )
         )
         result["valid"] = self._federation.global_verdict()["valid"]
         return result
+
+    def trace(self, trace_id: Optional[str] = None, limit: Optional[int] = None) -> list:
+        """The substrate's recorded trace events (optionally one trace's).
+
+        Serial mode records nothing; runtime mode reads the in-process
+        ring; service mode pulls the server's ring over the ``trace`` wire
+        op; federation mode merges every member's ring by timestamp.
+        """
+        self._ensure_open()
+        if self._tracer is not None:
+            return self._tracer.export(trace_id, limit)
+        if self._client is not None:
+            return self._client.trace(trace_id, limit=limit)["events"]
+        if self._federation is not None:
+            return self._federation.trace(trace_id, limit=limit)
+        return []
 
     def validate(self, force: bool = False) -> dict:
         """The design's current global verdict (``{"valid": ...}``)."""

@@ -32,7 +32,12 @@ designer's tool:
 * ``repro-design federate --pods 2 --spawn process`` — spawn a directory
   plus N pods, replay a synthetic workload through the federation and
   differentially check verdicts and state digests against a
-  single-process runtime.
+  single-process runtime;
+* ``repro-design stats HOST:PORT`` — fetch a live server's metrics
+  snapshot (``--watch N`` keeps refreshing it);
+* ``repro-design trace HOST:PORT --id TRACE`` — reconstruct one
+  publication's lifecycle from the trace rings (a directory endpoint
+  fans out to every live pod, merging the rings by timestamp).
 
 Every subcommand accepts ``--json`` for machine-readable output (what CI
 and scripts consume).
@@ -102,6 +107,24 @@ def _add_json_argument(parser: argparse.ArgumentParser, what: str) -> None:
     parser.add_argument(
         "--json", action="store_true", help=f"emit {what} as machine-readable JSON"
     )
+
+
+def _add_metrics_port_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus /metrics exposition over HTTP on this port "
+        "(0 picks an ephemeral one; the bound port is announced and in ping limits)",
+    )
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ReproError(f"cannot parse endpoint {text!r}; expected HOST:PORT")
+    return host, int(port_text)
 
 
 def _emit_json(payload: dict) -> None:
@@ -269,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--preload-seed", type=int, default=0, help="seed of the preloaded workload")
     _add_backend_argument(serve)
+    _add_metrics_port_argument(serve)
     serve.add_argument(
         "--json", action="store_true", help="announce the endpoint as one JSON line"
     )
@@ -376,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shut down after this many seconds (otherwise serve until a shutdown request)",
     )
     directory.add_argument("--workers", type=int, default=2, help="runtime thread-pool size per design")
+    _add_metrics_port_argument(directory)
     _add_json_argument(directory, "the endpoint announcement")
 
     pod = subparsers.add_parser(
@@ -412,7 +437,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pod.add_argument("--workers", type=int, default=2, help="runtime thread-pool size per design")
     _add_backend_argument(pod)
+    _add_metrics_port_argument(pod)
     _add_json_argument(pod, "the endpoint announcement")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="fetch a live server's metrics snapshot over the wire protocol",
+    )
+    stats.add_argument("endpoint", metavar="HOST:PORT", help="server endpoint to query")
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh the snapshot every N seconds until interrupted",
+    )
+    _add_json_argument(stats, "the metrics snapshot")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="reconstruct a publication's lifecycle from the trace rings",
+    )
+    trace.add_argument(
+        "endpoint",
+        metavar="HOST:PORT",
+        help="server endpoint to query (a directory fans out to its live pods)",
+    )
+    trace.add_argument(
+        "--id",
+        dest="trace_id",
+        default=None,
+        metavar="TRACE",
+        help="only this trace id's events (default: the whole ring)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, help="at most this many events per member"
+    )
+    _add_json_argument(trace, "the trace events")
 
     federate = subparsers.add_parser(
         "federate",
@@ -645,6 +706,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         runtime_workers=args.workers,
         validation_backend=args.backend,
+        metrics_port=args.metrics_port,
         **overload_options,
     )
     if args.preload_peers:
@@ -658,7 +720,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         server,
         args,
         "validation service",
-        extra=lambda s: {"designs": sorted(s._designs)},
+        extra=lambda s: {"designs": sorted(s._designs), "metrics_port": s.metrics_port},
     )
 
 
@@ -670,12 +732,13 @@ def _run_directory(args: argparse.Namespace) -> int:
         port=args.port,
         lease_ttl=args.lease_ttl,
         runtime_workers=args.workers,
+        metrics_port=args.metrics_port,
     )
     return _serve_until_shutdown(
         server,
         args,
         "federation directory",
-        extra=lambda s: {"lease_ttl": s.lease_ttl},
+        extra=lambda s: {"lease_ttl": s.lease_ttl, "metrics_port": s.metrics_port},
     )
 
 
@@ -697,13 +760,118 @@ def _run_pod(args: argparse.Namespace) -> int:
         lease_interval=args.lease_interval,
         runtime_workers=args.workers,
         validation_backend=args.backend,
+        metrics_port=args.metrics_port,
     )
     return _serve_until_shutdown(
         server,
         args,
         f"federation pod {args.pod_id}",
-        extra=lambda s: {"pod": s.pod_id, "directory": args.directory},
+        extra=lambda s: {
+            "pod": s.pod_id,
+            "directory": args.directory,
+            "metrics_port": s.metrics_port,
+        },
     )
+
+
+def _stats_summary(snapshot: dict) -> str:
+    service = snapshot.get("service", snapshot)
+    counters = service.get("counters", {})
+    histograms = service.get("histograms", {})
+    lines = ["counters:"]
+    for name in sorted(counters):
+        lines.append(f"  {name:<32} {counters[name]}")
+    if histograms:
+        lines.append("histograms (count / p50 / p99 ms):")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<32} {h.get('count', 0):>6}  "
+                f"{h.get('p50', 0.0):>9.3f}  {h.get('p99', 0.0):>9.3f}"
+            )
+    return "\n".join(lines)
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    host, port = _parse_endpoint(args.endpoint)
+    try:
+        while True:
+            client = ServiceClient(host, port)
+            try:
+                snapshot = client.stats()
+            finally:
+                client.close()
+            if args.json:
+                _emit_json(snapshot)
+            else:
+                print(_stats_summary(snapshot))
+            if args.watch is None:
+                return 0
+            time.sleep(max(0.1, args.watch))
+            if not args.json:
+                print()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _collect_trace_events(args: argparse.Namespace) -> list[dict]:
+    """This endpoint's trace ring, plus -- via the directory's membership
+    view -- every live pod's, so one command reconstructs a publication's
+    lifecycle across a whole process federation."""
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import ServiceError
+
+    host, port = _parse_endpoint(args.endpoint)
+    events: list[dict] = []
+    client = ServiceClient(host, port)
+    try:
+        events.extend(client.trace(args.trace_id, limit=args.limit)["events"])
+        try:
+            members = client.membership()["pods"]
+        except ServiceError:  # a plain server or pod: nothing to fan out to
+            members = {}
+    finally:
+        client.close()
+    for _pod_id, record in sorted(members.items()):
+        endpoint = record.get("endpoint")
+        if not endpoint or record.get("expired"):
+            continue
+        peer = ServiceClient(str(endpoint[0]), int(endpoint[1]))
+        try:
+            events.extend(peer.trace(args.trace_id, limit=args.limit)["events"])
+        except (ServiceError, OSError):
+            pass  # a pod mid-restart; the remaining rings still tell the story
+        finally:
+            peer.close()
+    events.sort(key=lambda event: event.get("ts", 0.0))
+    return events
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    events = _collect_trace_events(args)
+    if args.json:
+        _emit_json({"trace": args.trace_id, "events": events})
+        return 0 if events else 1
+    if not events:
+        print("no trace events recorded")
+        return 1
+    base = events[0].get("ts", 0.0)
+    for event in events:
+        offset = 1000 * (event.get("ts", base) - base)
+        ms = event.get("ms")
+        took = f"  took {ms:.3f} ms" if isinstance(ms, (int, float)) else ""
+        attrs = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("trace", "name", "component", "ts", "ms")
+        )
+        line = f"+{offset:9.3f} ms  [{event.get('component', '?'):<12}] {event.get('name', '?'):<18}{took}"
+        print(f"{line}  {attrs}".rstrip())
+    return 0
 
 
 def _run_federate(args: argparse.Namespace) -> int:
@@ -932,6 +1100,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "directory": _run_directory,
         "pod": _run_pod,
         "federate": _run_federate,
+        "stats": _run_stats,
+        "trace": _run_trace,
     }
     # Each invocation runs on a fresh engine so that --stats reports the hit
     # rates of this run alone, not of the whole process.

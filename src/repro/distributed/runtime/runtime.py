@@ -398,12 +398,19 @@ class ValidationRuntime:
         shards: Optional[int] = None,
         backend: str = "thread",
         validation_backend: Optional[str] = None,
+        tracer=None,
     ) -> None:
         from repro.engine.backends import resolve_backend
 
         self.document = document
         self.network = document.network
         self.validation_backend = resolve_backend(validation_backend)
+        #: Optional :class:`repro.observability.TraceRecorder`.  Trace ids
+        #: ride with publications (``_pending_traces``), so the shard task
+        #: that eventually parses and validates a payload can stamp its
+        #: settle event with the publication's trace even when the
+        #: validation round runs later, from another thread.
+        self.tracer = tracer
         functions = tuple(document.resources)
         peer_count = max(1, len(functions))
         workers, shard_count = resolve_pool(peer_count, max_workers, shards)
@@ -426,6 +433,9 @@ class ValidationRuntime:
         self._acks: dict[str, bool] = {}
         #: function -> (wire digest, raw payload) awaiting parse+validate.
         self._pending_payloads: dict[str, tuple[str, str | bytes]] = {}
+        #: function -> trace id of the publication that queued the pending
+        #: payload (drained alongside ``_pending_payloads`` by the round).
+        self._pending_traces: dict[str, str] = {}
         #: function -> the Tree object the current fingerprint was computed
         #: for.  A fingerprint is only trusted while the peer still holds
         #: that exact object, so updates applied behind the runtime's back
@@ -503,9 +513,10 @@ class ValidationRuntime:
         with self._state_lock:
             self.document.resources[function].update_document(document)
             self._pending_payloads.pop(function, None)
+            self._pending_traces.pop(function, None)
             self._current_fp[function] = None
 
-    def publish(self, function: str, payload: str | bytes) -> bool:
+    def publish(self, function: str, payload: str | bytes, trace_id: Optional[str] = None) -> bool:
         """A peer publishes its document as serialised XML (the wire format).
 
         The payload is content-addressed *before* any parsing: when the
@@ -534,10 +545,20 @@ class ValidationRuntime:
                 and self.document.resources[function].validator is self._ack_validator.get(function)
             ):
                 self.stats.clean_publications += 1
+                if self.tracer is not None:
+                    self.tracer.record_flat(
+                        trace_id, "runtime.publish", None, "function", function, "clean", True
+                    )
                 return True
             self._pending_payloads[function] = (fingerprint, payload)
+            if trace_id is not None:
+                self._pending_traces[function] = trace_id
             self._current_fp[function] = None
-            return False
+        if self.tracer is not None:
+            self.tracer.record_flat(
+                trace_id, "runtime.publish", None, "function", function, "clean", False
+            )
+        return False
 
     def begin_stream(self, function: str) -> StreamIngest:
         """Start a streamed publication for one peer (digest + validate, one pass).
@@ -570,7 +591,9 @@ class ValidationRuntime:
             ingest.feed(chunk)
         return ingest.finish()
 
-    def settle_stream(self, ingest: StreamIngest) -> tuple[StreamPublishReport, Optional[bool]]:
+    def settle_stream(
+        self, ingest: StreamIngest, trace_id: Optional[str] = None
+    ) -> tuple[StreamPublishReport, Optional[bool]]:
         """Settle a streamed publication and read the global verdict atomically.
 
         What the service calls when a chunked stream ends: the settlement
@@ -578,9 +601,21 @@ class ValidationRuntime:
         lock, so a concurrent batch round or another stream cannot tear
         the pair.
         """
+        started = time.perf_counter()
         with self._state_lock:
             report = ingest.finish()
-            return report, self.current_verdict()
+            verdict = self.current_verdict()
+        if self.tracer is not None:
+            self.tracer.record(
+                trace_id,
+                "stream.settle",
+                duration_ms=1000 * (time.perf_counter() - started),
+                function=report.function,
+                backend=self.validation_backend,
+                payload_bytes=report.payload_bytes,
+                peer_valid=report.valid,
+            )
+        return report, verdict
 
     def dirty_peers(self) -> tuple[str, ...]:
         """Peers whose next validation round cannot reuse a cached ack.
@@ -637,6 +672,7 @@ class ValidationRuntime:
         # still holds the object it was computed for), a missing ack, or a
         # forced run.  Shards whose members are all clean are not dispatched.
         payloads, self._pending_payloads = self._pending_payloads, {}
+        traces, self._pending_traces = self._pending_traces, {}
         attention = {
             function
             for function, peer in self.document.resources.items()
@@ -653,6 +689,7 @@ class ValidationRuntime:
         ]
 
         def run_shard(shard: int, engine: CompilationEngine) -> list[_PeerOutcome]:
+            shard_started = time.perf_counter()
             outcomes = []
             for function in self.shard_map.members(shard):
                 if function not in attention:
@@ -693,6 +730,26 @@ class ValidationRuntime:
                 )
                 ack = peer.validate_locally() if stale else self._acks[function]
                 outcomes.append(_PeerOutcome(function, fingerprint, ack, stale, fingerprinted))
+            if self.tracer is not None and traces:
+                shard_ms = 1000 * (time.perf_counter() - shard_started)
+                for outcome in outcomes:
+                    trace_id = traces.get(outcome.function)
+                    if trace_id:
+                        self.tracer.record_flat(
+                            trace_id,
+                            "shard.settle",
+                            shard_ms,
+                            "shard",
+                            shard,
+                            "function",
+                            outcome.function,
+                            "backend",
+                            self.validation_backend,
+                            "ack",
+                            outcome.ack,
+                            "validated",
+                            outcome.validated,
+                        )
             return outcomes
 
         validated = skipped = fingerprinted = 0
@@ -706,6 +763,7 @@ class ValidationRuntime:
             # A failed round must not swallow queued publications: re-queue
             # whatever this round took (newer publishes, if any, win).
             self._pending_payloads = {**payloads, **self._pending_payloads}
+            self._pending_traces = {**traces, **self._pending_traces}
             raise
         for outcomes in shard_outcomes:
             for outcome in outcomes:

@@ -43,6 +43,13 @@ __all__ = ["DirectoryServer", "PodRecord"]
 DEFAULT_LEASE_TTL = 30.0
 
 
+def _verdict_state(valid: Optional[bool]) -> str:
+    """The one-word state a tri-valued global verdict is reported as."""
+    if valid is None:
+        return "incomplete"
+    return "valid" if valid else "invalid"
+
+
 @dataclass
 class PodRecord:
     """One pod's membership entry."""
@@ -70,12 +77,74 @@ class DirectoryServer(ValidationServer):
 
     def __init__(self, *args, lease_ttl: float = DEFAULT_LEASE_TTL, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self.tracer.component = "directory"
         self.lease_ttl = lease_ttl
         self._pods: dict[str, PodRecord] = {}
         self._typing_version = 0
         self._verdicts: dict[str, _DesignVerdicts] = {}
         #: Injectable monotonic clock for deterministic lease tests.
         self._lease_clock = time.monotonic
+        #: design -> the last global verdict derived here; lets a traced
+        #: ``peer_verdict`` record the exact flip it caused.
+        self._last_global: dict[str, Optional[bool]] = {}
+        registry = self.metrics.registry
+        self._gauge_pods_live = registry.gauge_family(
+            "repro_federation_pods_live", "pods holding an unexpired lease"
+        )
+        self._gauge_pods_total = registry.gauge_family(
+            "repro_federation_pods_joined", "pods ever joined (leases may be expired)"
+        )
+        self._gauge_lease_age = registry.gauge_family(
+            "repro_federation_lease_age_seconds",
+            "seconds since each pod's lease was last renewed",
+            ("pod",),
+        )
+        self._gauge_typing_version = registry.gauge_family(
+            "repro_federation_typing_version", "the federation's current typing version"
+        )
+        self._gauge_verdict = registry.gauge_family(
+            "repro_federation_global_verdict",
+            "one-hot global-verdict state per design (valid/invalid/incomplete)",
+            ("design", "state"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # federation-wide exposition aggregates
+    # ------------------------------------------------------------------ #
+
+    def _render_metrics(self) -> str:
+        self._refresh_federation_gauges()
+        return super()._render_metrics()
+
+    def _refresh_federation_gauges(self) -> None:
+        """Rebuild the aggregate gauges from directory state, per scrape.
+
+        Runs on the exporter's scrape thread while the op handlers mutate
+        state on the event loop; the reads are snapshots of small dicts
+        and a torn iteration (a pod joining mid-scrape) just means that
+        scrape keeps the previous values -- never an error response.
+        """
+        try:
+            pods = list(self._pods.values())
+            designs = sorted(self._verdicts)
+            now = self._lease_clock()
+        except RuntimeError:  # pragma: no cover - mutated mid-iteration
+            return
+        live = sum(1 for record in pods if not record.expired(now))
+        self._gauge_pods_live.labels().set(live)
+        self._gauge_pods_total.labels().set(len(pods))
+        self._gauge_typing_version.labels().set(self._typing_version)
+        self._gauge_lease_age.clear()
+        for record in pods:
+            age = max(0.0, self.lease_ttl - (record.expires_at - now))
+            self._gauge_lease_age.labels(pod=record.pod).set(round(age, 3))
+        self._gauge_verdict.clear()
+        for design in designs:
+            state = _verdict_state(self._global_verdict_of(design)["valid"])
+            for candidate in ("valid", "invalid", "incomplete"):
+                self._gauge_verdict.labels(design=design, state=candidate).set(
+                    1 if candidate == state else 0
+                )
 
     # ------------------------------------------------------------------ #
     # op dispatch
@@ -84,6 +153,8 @@ class DirectoryServer(ValidationServer):
     async def _execute(self, op, body, blob, connection):
         if op == "join":
             return self._join_pod(body)
+        if op == "membership":
+            return {"pods": self.membership(), "typing_version": self._typing_version}
         if op == "lease_renew":
             return self._renew_lease(body)
         if op == "typing_update":
@@ -172,6 +243,9 @@ class DirectoryServer(ValidationServer):
             raise OpError("bad-request", "'acks' must be an object of function -> bool")
         if not isinstance(version, int):
             raise OpError("bad-request", "'typing_version' must be an integer")
+        raw_trace = body.get("trace")
+        trace_id = raw_trace if isinstance(raw_trace, str) and raw_trace else None
+        before = self._last_global.get(design, self._global_verdict_of(design)["valid"])
         verdicts = self._verdicts.setdefault(design, _DesignVerdicts())
         for function, ack in acks.items():
             current = verdicts.acks.get(function)
@@ -180,6 +254,20 @@ class DirectoryServer(ValidationServer):
             if current is not None and current[1] > version:
                 continue
             verdicts.acks[function] = (bool(ack), version, pod)
+        after = self._global_verdict_of(design)["valid"]
+        self._last_global[design] = after
+        if trace_id:
+            self.tracer.record(
+                trace_id, "verdict.record", pod=pod, design=design, recorded=len(acks)
+            )
+            if after is not before:
+                self.tracer.record(
+                    trace_id,
+                    "verdict.flip",
+                    design=design,
+                    old=_verdict_state(before),
+                    new=_verdict_state(after),
+                )
         return {
             "design": design,
             "recorded": len(acks),

@@ -34,6 +34,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
@@ -43,6 +44,7 @@ from repro.distributed.runtime.sharding import ShardMap
 from repro.errors import DesignError
 from repro.federation.directory import DirectoryServer
 from repro.federation.pod import PodServer
+from repro.observability.exposition import merge_expositions
 from repro.service.client import ServiceClient
 from repro.service.protocol import ServiceError
 from repro.service.server import ServiceHandle
@@ -110,6 +112,7 @@ class Federation:
         lease_ttl: float = 30.0,
         lease_interval: float = 5.0,
         client_timeout: Optional[float] = 30.0,
+        metrics: bool = False,
     ) -> None:
         if spawn not in SPAWN_MODES:
             raise DesignError(
@@ -126,6 +129,9 @@ class Federation:
         self.lease_ttl = lease_ttl
         self.lease_interval = lease_interval
         self.client_timeout = client_timeout
+        #: When true every member serves /metrics on an ephemeral port
+        #: (discovered through ``ping()["limits"]["metrics_port"]``).
+        self.metrics = metrics
         self.typing_version = 1
 
         functions = self.kernel.functions
@@ -201,6 +207,7 @@ class Federation:
                 port=0,
                 lease_ttl=self.lease_ttl,
                 validation_backend=self.validation_backend,
+                metrics_port=0 if self.metrics else None,
             )
             self._directory_handle = ServiceHandle(server).start()
             self.directory_host = server.host
@@ -213,7 +220,8 @@ class Federation:
                 "--host", self.host, "--port", "0",
                 "--port-file", str(port_file),
                 "--lease-ttl", str(self.lease_ttl),
-            ],
+            ]
+            + (["--metrics-port", "0"] if self.metrics else []),
             env=self._child_env(),
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
@@ -232,6 +240,7 @@ class Federation:
                 lease_interval=self.lease_interval,
                 runtime_workers=self.workers,
                 validation_backend=self.validation_backend,
+                metrics_port=0 if self.metrics else None,
             )
             pod.handle = ServiceHandle(server).start()
             pod.host, pod.port = server.host, server.port
@@ -246,7 +255,8 @@ class Federation:
                     "--directory", f"{self.directory_host}:{self.directory_port}",
                     "--lease-interval", str(self.lease_interval),
                     "--workers", str(self.workers),
-                ],
+                ]
+                + (["--metrics-port", "0"] if self.metrics else []),
                 env=self._child_env(),
                 stdout=subprocess.DEVNULL,
                 stderr=subprocess.DEVNULL,
@@ -289,15 +299,23 @@ class Federation:
             )
         return pod
 
-    def publish(self, function: str, payload: Union[str, bytes]) -> dict:
+    def publish(
+        self, function: str, payload: Union[str, bytes], trace_id: Optional[str] = None
+    ) -> dict:
         """Route one wire publication to the owning pod."""
         pod = self._pod_of(function)
-        result = pod.client.publish(self.design_id, function, payload)
+        result = pod.client.publish(
+            self.design_id, function, payload, trace_id=trace_id
+        )
         self._last_payload[function] = payload
         return result
 
     def publish_stream(
-        self, function: str, payload, chunk_bytes: int = 65536
+        self,
+        function: str,
+        payload,
+        chunk_bytes: int = 65536,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """Route one chunked streamed publication to the owning pod."""
         if not isinstance(payload, (str, bytes)):
@@ -307,7 +325,11 @@ class Federation:
             )
         pod = self._pod_of(function)
         result = pod.client.publish_stream(
-            self.design_id, function, payload, chunk_bytes=chunk_bytes
+            self.design_id,
+            function,
+            payload,
+            chunk_bytes=chunk_bytes,
+            trace_id=trace_id,
         )
         self._last_payload[function] = payload
         return result
@@ -351,6 +373,64 @@ class Federation:
     def state_digest(self) -> str:
         """A digest byte-comparable with ``ValidationRuntime.state_digest``."""
         return state_digest_of(self.export_state())
+
+    # ------------------------------------------------------------------ #
+    # observability views
+    # ------------------------------------------------------------------ #
+
+    def _members(self) -> list[tuple[str, str, "ServiceClient", str]]:
+        """``(member_id, role, client, host)`` for every dialable member."""
+        members = [("directory", "directory", self._directory_client, self.directory_host)]
+        members.extend(
+            (pod.pod_id, "pod", pod.client, pod.host)
+            for pod in self._pods
+            if pod.alive and pod.client is not None
+        )
+        return members
+
+    def metrics_endpoints(self) -> dict[str, str]:
+        """``member_id -> http://host:port/metrics`` for members exposing one.
+
+        The port is whatever the member advertises in ``ping()`` limits --
+        works for thread and process spawns alike, since both resolve
+        their ephemeral exporter port at start.
+        """
+        endpoints: dict[str, str] = {}
+        for member_id, _role, client, host in self._members():
+            port = client.ping().get("limits", {}).get("metrics_port")
+            if port:
+                endpoints[member_id] = f"http://{host}:{port}/metrics"
+        return endpoints
+
+    def scrape_all(self) -> str:
+        """Scrape every member's /metrics and merge into one exposition.
+
+        Each member's series gain ``pod`` and ``role`` labels, so the
+        merged text stays valid Prometheus format with no series
+        collisions across members.
+        """
+        parts: list[tuple[tuple[tuple[str, str], ...], str]] = []
+        roles = {member_id: role for member_id, role, _c, _h in self._members()}
+        for member_id, url in self.metrics_endpoints().items():
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                text = response.read().decode("utf-8")
+            labels = (("pod", member_id), ("role", roles.get(member_id, "pod")))
+            parts.append((labels, text))
+        return merge_expositions(parts)
+
+    def trace(self, trace_id: Optional[str] = None, limit: Optional[int] = None) -> list:
+        """One publication's lifecycle merged across every member's ring.
+
+        Pulls each member's trace ring over the ``trace`` wire op and
+        merges the events by wall-clock timestamp -- this is how a trace
+        that hops pod -> directory is reconstructed even when the members
+        are separate OS processes.
+        """
+        events: list[dict] = []
+        for _member_id, _role, client, _host in self._members():
+            events.extend(client.trace(trace_id, limit=limit)["events"])
+        events.sort(key=lambda event: event.get("ts", 0.0))
+        return events
 
     def resync(self) -> dict:
         """Force every live pod to re-join and re-push to the directory.

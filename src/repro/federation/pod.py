@@ -28,6 +28,7 @@ triggers a full resync: re-join plus re-push of every design's verdicts.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional
 
 from repro.service.client import AsyncServiceClient
@@ -58,6 +59,7 @@ class PodServer(ValidationServer):
     ) -> None:
         super().__init__(*args, **kwargs)
         self.pod_id = pod_id
+        self.tracer.component = f"pod:{pod_id}"
         self.directory_host = directory_host
         self.directory_port = directory_port
         self.lease_interval = lease_interval
@@ -148,7 +150,9 @@ class PodServer(ValidationServer):
         elif op in _VERDICT_OPS:
             design_id = result.get("design") or body.get("design")
             if design_id:
-                await self._push_verdict(design_id)
+                raw_trace = body.get("trace")
+                trace_id = raw_trace if isinstance(raw_trace, str) and raw_trace else None
+                await self._push_verdict(design_id, trace_id=trace_id)
         elif op == "typing_update":
             await self._sync_directory()
 
@@ -211,10 +215,11 @@ class PodServer(ValidationServer):
                 await self._note_directory_error()
         return False
 
-    async def _push_verdict(self, design_id: str) -> bool:
+    async def _push_verdict(self, design_id: str, trace_id: Optional[str] = None) -> bool:
         entry = self._designs.get(design_id)
         if entry is None:
             return False
+        started = time.perf_counter()
         try:
             client = await self._directory()
             if client is None:
@@ -224,10 +229,21 @@ class PodServer(ValidationServer):
                 design_id,
                 entry.runtime.peer_acks(),
                 self._design_typing_version.get(design_id, 0),
+                trace_id=trace_id,
             )
         except (ServiceError, OSError, ConnectionError):
             await self._note_directory_error()
+            if trace_id:
+                self.tracer.record(trace_id, "verdict.push_failed", design=design_id)
             return False
+        if trace_id:
+            self.tracer.record(
+                trace_id,
+                "verdict.push",
+                duration_ms=1000 * (time.perf_counter() - started),
+                design=design_id,
+                pod=self.pod_id,
+            )
         return True
 
     async def _lease_loop(self) -> None:

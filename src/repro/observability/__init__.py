@@ -1,0 +1,31 @@
+"""Observability: Prometheus-style exposition and publication tracing.
+
+Two small, dependency-free subsystems every serving layer shares:
+
+* :mod:`repro.observability.exposition` -- renders a
+  :class:`~repro.metrics.MetricsRegistry`'s labeled families as
+  Prometheus text format 0.0.4 and serves it over a lightweight HTTP
+  ``/metrics`` endpoint (:class:`MetricsExporter`), plus the label-merge
+  helper ``Federation.scrape_all()`` uses for single-pane scraping;
+* :mod:`repro.observability.tracing` -- a bounded in-memory span/event
+  recorder (:class:`TraceRecorder`) keyed by wire-propagated trace ids,
+  so one publication's lifecycle (queue wait, shard settle, ack push,
+  verdict flip) can be reconstructed even across process pods.
+"""
+
+from repro.observability.exposition import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsExporter,
+    merge_expositions,
+    render_exposition,
+)
+from repro.observability.tracing import TraceRecorder, new_trace_id
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "MetricsExporter",
+    "TraceRecorder",
+    "merge_expositions",
+    "new_trace_id",
+    "render_exposition",
+]

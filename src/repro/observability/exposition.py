@@ -1,0 +1,217 @@
+"""Prometheus text-format (0.0.4) exposition of the metrics registry.
+
+:func:`render_exposition` turns :meth:`MetricsRegistry.collect`'s
+normalized view into the plain-text format every Prometheus-compatible
+scraper reads: ``# HELP``/``# TYPE`` headers followed by one sample line
+per labeled series.  Reservoir histograms are rendered as ``summary``
+families -- ``quantile`` labels plus ``_sum``/``_count`` series -- since
+the repo's :class:`~repro.metrics.Histogram` keeps quantiles, not
+buckets.
+
+:class:`MetricsExporter` serves the rendering over a stdlib
+``ThreadingHTTPServer`` on its own daemon thread (no new dependencies),
+bound to an ephemeral port by default so servers, pods and the directory
+can each carry their own ``/metrics`` without port bookkeeping.
+
+:func:`merge_expositions` is the federation's single-pane-of-glass
+helper: it re-labels each member's exposition (``pod="pod-0"``) and
+merges the streams, deduplicating headers, so ``Federation.scrape_all()``
+returns one valid document covering the whole topology.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "MetricsExporter",
+    "merge_expositions",
+    "render_exposition",
+]
+
+#: The content type Prometheus scrapers expect for text format 0.0.4.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Sample-line shape: ``name{labels} value`` or ``name value`` (the lint
+#: and the CI federation job both validate expositions against this).
+SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[0-9eE+.\-]+|NaN|[+-]Inf)$"
+)
+
+#: Histogram snapshot keys rendered as ``quantile`` labels.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"), ("p999", "0.999"))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _labels_text(pairs: Sequence[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(str(value))}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_exposition(collected: Iterable[dict]) -> str:
+    """Render ``MetricsRegistry.collect()`` output as text format 0.0.4."""
+    lines: list[str] = []
+    for family in collected:
+        name, kind, help_ = family["name"], family["kind"], family["help"]
+        samples = family["samples"]
+        if not samples:
+            continue
+        if help_:
+            lines.append(f"# HELP {name} {help_}")
+        exposed_kind = "summary" if kind == "histogram" else kind
+        lines.append(f"# TYPE {name} {exposed_kind}")
+        for label_pairs, value in samples:
+            if kind == "histogram":
+                snap = value
+                for key, quantile in _QUANTILE_KEYS:
+                    pairs = tuple(label_pairs) + (("quantile", quantile),)
+                    lines.append(
+                        f"{name}{_labels_text(pairs)} {_format_value(snap[key])}"
+                    )
+                total = snap["mean"] * snap["count"]
+                lines.append(
+                    f"{name}_sum{_labels_text(label_pairs)} {_format_value(total)}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(label_pairs)} {snap['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels_text(label_pairs)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def merge_expositions(parts: Sequence[tuple[Sequence[tuple[str, str]], str]]) -> str:
+    """Merge expositions, injecting extra labels into each part's samples.
+
+    ``parts`` is ``[(extra_label_pairs, exposition_text), ...]`` -- e.g.
+    ``[((("pod", "pod-0"),), text0), ...]``.  ``# HELP``/``# TYPE`` lines
+    are deduplicated on first sight; sample lines gain the extra labels.
+    A sample that already carries one of the extra label names keeps its
+    own (the directory's per-pod lease gauges must not grow a second
+    ``pod=`` label).
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for extra, text in parts:
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                if line not in seen_headers:
+                    seen_headers.add(line)
+                    lines.append(line)
+                continue
+            if not extra:
+                lines.append(line)
+                continue
+            match = SAMPLE_LINE_RE.match(line)
+            if match is None:  # pragma: no cover - foreign scrape content
+                lines.append(line)
+                continue
+            name, labels, value = match.group("name", "labels", "value")
+            inner = labels[1:-1] if labels else ""
+            present = {part.split("=", 1)[0] for part in inner.split(",") if "=" in part}
+            suffix = ",".join(
+                f'{label}="{_escape_label(str(v))}"'
+                for label, v in extra
+                if label not in present
+            )
+            merged = ",".join(part for part in (inner, suffix) if part)
+            labels_text = f"{{{merged}}}" if merged else ""
+            lines.append(f"{name}{labels_text} {value}")
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        try:
+            body = self.server.collect().encode("utf-8")  # type: ignore[attr-defined]
+        except Exception as error:  # pragma: no cover - collector bug surface
+            self.send_error(500, f"collector failed: {error}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Scrapes are high-frequency; stay silent instead of spamming stderr."""
+
+
+class MetricsExporter:
+    """Serve ``collect()``'s exposition text on ``http://host:port/metrics``.
+
+    The exporter owns one daemon thread running a stdlib
+    ``ThreadingHTTPServer``; ``port=0`` binds an ephemeral port, readable
+    as :attr:`port` after :meth:`start`.  ``collect`` runs on the scrape
+    thread -- it must be thread-safe (the metrics layer is lock-based
+    throughout, and collectors that refresh gauges take their own locks).
+    """
+
+    def __init__(
+        self, collect: Callable[[], str], host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._collect = collect
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsExporter":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.collect = self._collect  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.host, self.port = httpd.server_address[0], httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

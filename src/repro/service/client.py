@@ -139,8 +139,17 @@ class _RequestMixin:
             fields["typing_version"] = typing_version
         return self._call("register_design", fields)
 
-    def publish(self, design: str, function: str, payload: Union[str, bytes]):
-        return self._call("publish", {"design": design, "function": function}, _as_bytes(payload))
+    def publish(
+        self,
+        design: str,
+        function: str,
+        payload: Union[str, bytes],
+        trace_id: Optional[str] = None,
+    ):
+        fields = {"design": design, "function": function}
+        if trace_id:
+            fields["trace"] = trace_id
+        return self._call("publish", fields, _as_bytes(payload))
 
     def validate(self, design: str, function: str, payload: Union[str, bytes]):
         return self._call("validate", {"design": design, "function": function}, _as_bytes(payload))
@@ -153,6 +162,15 @@ class _RequestMixin:
 
     def stats(self):
         return self._call("stats")
+
+    def trace(self, trace_id: Optional[str] = None, limit: Optional[int] = None):
+        """Export the server's trace ring (optionally one trace's events)."""
+        fields = {}
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        if limit is not None:
+            fields["limit"] = limit
+        return self._call("trace", fields)
 
     def shutdown(self):
         return self._call("shutdown")
@@ -171,16 +189,27 @@ class _RequestMixin:
     def typing_update(self, version: int):
         return self._call("typing_update", {"version": version})
 
-    def peer_verdict(self, pod: str, design: str, acks: Mapping[str, bool], typing_version: int):
-        return self._call(
-            "peer_verdict",
-            {
-                "pod": pod,
-                "design": design,
-                "acks": dict(acks),
-                "typing_version": typing_version,
-            },
-        )
+    def peer_verdict(
+        self,
+        pod: str,
+        design: str,
+        acks: Mapping[str, bool],
+        typing_version: int,
+        trace_id: Optional[str] = None,
+    ):
+        fields = {
+            "pod": pod,
+            "design": design,
+            "acks": dict(acks),
+            "typing_version": typing_version,
+        }
+        if trace_id:
+            fields["trace"] = trace_id
+        return self._call("peer_verdict", fields)
+
+    def membership(self):
+        """The directory's membership view (pod -> functions / lease state)."""
+        return self._call("membership")
 
     def global_verdict(self, design: str):
         return self._call("global_verdict", {"design": design})
@@ -234,6 +263,7 @@ class ServiceClient(_RequestMixin):
         function: str,
         payload: Union[str, bytes, Iterable[Union[str, bytes]]],
         chunk_bytes: int = DEFAULT_STREAM_CHUNK_BYTES,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """Publish through the chunked streaming path (begin / chunks / end).
 
@@ -244,7 +274,10 @@ class ServiceClient(_RequestMixin):
         """
         self._next_stream += 1
         stream = f"s{self._next_stream}"
-        self._call("publish_stream_begin", {"design": design, "function": function, "stream": stream})
+        begin = {"design": design, "function": function, "stream": stream}
+        if trace_id:
+            begin["trace"] = trace_id
+        self._call("publish_stream_begin", begin)
         for chunk in _as_chunks(payload, chunk_bytes):
             self._call("publish_stream_chunk", {"stream": stream}, chunk)
         return self._call("publish_stream_end", {"stream": stream})
@@ -457,6 +490,7 @@ class AsyncServiceClient(_RequestMixin):
         function: str,
         payload: Union[str, bytes, Iterable[Union[str, bytes]]],
         chunk_bytes: int = DEFAULT_STREAM_CHUNK_BYTES,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """Pipelined chunked publication: begin, all chunks, then end.
 
@@ -468,9 +502,10 @@ class AsyncServiceClient(_RequestMixin):
         """
         self._next_stream += 1
         stream = f"s{self._next_stream}"
-        await self._call(
-            "publish_stream_begin", {"design": design, "function": function, "stream": stream}
-        )
+        begin = {"design": design, "function": function, "stream": stream}
+        if trace_id:
+            begin["trace"] = trace_id
+        await self._call("publish_stream_begin", begin)
         chunk_calls = [
             asyncio.ensure_future(self._call("publish_stream_chunk", {"stream": stream}, chunk))
             for chunk in _as_chunks(payload, chunk_bytes)

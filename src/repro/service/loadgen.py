@@ -32,6 +32,7 @@ from typing import Optional
 
 from repro.errors import DesignError
 from repro.metrics import Histogram
+from repro.observability.tracing import new_trace_id
 from repro.service.client import AsyncServiceClient, RetryPolicy, ServiceError
 from repro.trees.xml_io import tree_to_xml
 from repro.workloads.synthetic import DistributedWorkload
@@ -137,6 +138,7 @@ async def _drive_closed(
     pipeline: int,
     stream_chunk_bytes: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
+    trace: bool = False,
 ) -> tuple[list[float], dict]:
     """Closed loop: each lane is one pipelined connection with a window."""
     latencies: list[float] = []
@@ -152,20 +154,24 @@ async def _drive_closed(
             window: set[asyncio.Task] = set()
 
             async def one(function: str, payload: str) -> None:
+                trace_id = new_trace_id() if trace else None
                 started = time.perf_counter()
                 try:
                     if stream_chunk_bytes is not None:
                         lock = function_locks.setdefault(function, asyncio.Lock())
                         async with lock:
                             result = await client.publish_stream(
-                                design, function, payload, chunk_bytes=stream_chunk_bytes
+                                design, function, payload,
+                                chunk_bytes=stream_chunk_bytes, trace_id=trace_id,
                             )
                     elif retry is not None:
                         result = await client.publish_with_retry(
                             design, function, payload, policy=retry, on_retry=noted
                         )
                     else:
-                        result = await client.publish(design, function, payload)
+                        result = await client.publish(
+                            design, function, payload, trace_id=trace_id
+                        )
                     if result.get("clean"):
                         counters["clean"] += 1
                 except ServiceError:
@@ -207,6 +213,7 @@ async def _drive_open(
     rate: float,
     stream_chunk_bytes: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
+    trace: bool = False,
 ) -> tuple[list[float], dict]:
     """Open loop: fire on schedule, never waiting for completions.
 
@@ -230,20 +237,24 @@ async def _drive_open(
         function_locks: dict[str, asyncio.Lock] = {}
 
         async def one(client: AsyncServiceClient, function: str, payload: str) -> None:
+            trace_id = new_trace_id() if trace else None
             started = time.perf_counter()
             try:
                 if stream_chunk_bytes is not None:
                     lock = function_locks.setdefault(function, asyncio.Lock())
                     async with lock:
                         result = await client.publish_stream(
-                            design, function, payload, chunk_bytes=stream_chunk_bytes
+                            design, function, payload,
+                            chunk_bytes=stream_chunk_bytes, trace_id=trace_id,
                         )
                 elif retry is not None:
                     result = await client.publish_with_retry(
                         design, function, payload, policy=retry, on_retry=noted
                     )
                 else:
-                    result = await client.publish(design, function, payload)
+                    result = await client.publish(
+                        design, function, payload, trace_id=trace_id
+                    )
                 if result.get("clean"):
                     counters["clean"] += 1
             except ServiceError:
@@ -277,6 +288,7 @@ async def _run(
     register: bool,
     stream_chunk_bytes: Optional[int],
     retry: Optional[RetryPolicy],
+    trace: bool,
 ) -> LoadReport:
     stream = publication_stream(workload)
     setup = await AsyncServiceClient.connect(host, port)
@@ -299,14 +311,14 @@ async def _run(
                 lanes[lane_of[function]].append((function, payload))
             latencies, counters = await _drive_closed(
                 host, port, design, [lane for lane in lanes if lane], pipeline,
-                stream_chunk_bytes=stream_chunk_bytes, retry=retry,
+                stream_chunk_bytes=stream_chunk_bytes, retry=retry, trace=trace,
             )
         else:
             if not rate or rate <= 0:
                 raise DesignError("open-loop load generation needs a positive --rate")
             latencies, counters = await _drive_open(
                 host, port, design, stream, clients, rate,
-                stream_chunk_bytes=stream_chunk_bytes, retry=retry,
+                stream_chunk_bytes=stream_chunk_bytes, retry=retry, trace=trace,
             )
         wall = time.perf_counter() - started
         final = await setup.revalidate(design)
@@ -346,6 +358,7 @@ def run_load(
     register: bool = True,
     stream_chunk_bytes: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
+    trace: bool = False,
 ) -> LoadReport:
     """Replay ``workload`` against a live service and measure it.
 
@@ -358,6 +371,9 @@ def run_load(
     ``publish_with_retry`` with that policy -- the overload-survival
     discipline: shed publications back off and re-land, and the report's
     ``shed``/``retries``/``goodput`` fields say what it cost.
+    ``trace=True`` mints a fresh trace id per publication (the
+    observability-overhead benchmark's worst case: every publication's
+    lifecycle is recorded in the server's trace ring).
     """
     if mode not in MODES:
         raise DesignError(f"unknown load mode {mode!r}; expected one of {MODES}")
@@ -366,6 +382,6 @@ def run_load(
     return asyncio.run(
         _run(
             host, port, workload, design, mode, clients, max(1, pipeline), rate, register,
-            stream_chunk_bytes, retry,
+            stream_chunk_bytes, retry, trace,
         )
     )

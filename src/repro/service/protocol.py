@@ -307,12 +307,18 @@ OPERATIONS = {
     "validate": ("design", "function"),
     "revalidate": ("design",),
     "stats": (),
+    # Export the server's trace ring (optional ``trace_id`` filter and
+    # ``limit``).  Any op may carry an optional ``trace`` body field -- a
+    # client-minted trace id; every layer that sees it appends lifecycle
+    # events to its ring, which is what this op reads back.
+    "trace": (),
     "shutdown": (),
     # Federation ops (peer<->peer / pod<->directory; see repro.federation).
     # A directory server accepts the membership and verdict ops; a peer pod
     # additionally answers ``pod_state`` with its runtime's exported state.
     # A plain validation server answers all of them with ``unsupported-op``.
     "join": ("pod", "functions"),
+    "membership": (),
     "lease_renew": ("pod",),
     "typing_update": ("version",),
     "peer_verdict": ("pod", "design", "acks", "typing_version"),

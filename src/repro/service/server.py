@@ -36,6 +36,8 @@ from repro.core.typing import TreeTyping
 from repro.distributed.network import DistributedDocument
 from repro.distributed.runtime.runtime import ValidationRuntime
 from repro.errors import InvalidXMLError, ReproError
+from repro.observability.exposition import MetricsExporter, render_exposition
+from repro.observability.tracing import TraceRecorder
 from repro.schemas.dtd_text import parse_dtd_text
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
@@ -147,6 +149,8 @@ class _StreamState:
     shard: int = 0
     #: Loop time of the last frame touching this stream (TTL reaping).
     touched: float = 0.0
+    #: Wire-propagated trace id from ``publish_stream_begin``.
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -157,6 +161,11 @@ class _Publication:
     function: str
     payload: bytes
     future: asyncio.Future = field(compare=False)
+    #: Wire-propagated trace id (``None`` for untraced traffic).
+    trace_id: Optional[str] = None
+    #: ``perf_counter`` at enqueue; the batch settles a ``queue.wait``
+    #: trace event from it.
+    enqueued: float = 0.0
 
 
 class AdmissionController:
@@ -314,6 +323,8 @@ class ValidationServer:
         stream_ttl: Optional[float] = DEFAULT_STREAM_TTL,
         stream_inline_threshold: Optional[int] = DEFAULT_STREAM_INLINE_THRESHOLD,
         max_streams_per_shard: Optional[int] = DEFAULT_MAX_STREAMS_PER_SHARD,
+        metrics_port: Optional[int] = None,
+        tracer: Optional[TraceRecorder] = None,
     ) -> None:
         from repro.engine.backends import resolve_backend
 
@@ -341,6 +352,12 @@ class ValidationServer:
         #: server construction, not at the first register request).
         self.validation_backend = resolve_backend(validation_backend)
         self.metrics = ServiceMetrics()
+        #: ``None`` keeps the HTTP exposition off; ``0`` binds ephemeral.
+        self.metrics_port = metrics_port
+        self._exporter: Optional[MetricsExporter] = None
+        #: The publication-lifecycle trace ring; shared with every
+        #: registered design's runtime so shard tasks record into it.
+        self.tracer = tracer if tracer is not None else TraceRecorder(component="server")
         self.admission = AdmissionController(
             self, max_batch, batch_window, max_queue_depth=max_queue_depth
         )
@@ -372,6 +389,11 @@ class ValidationServer:
         self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self.metrics_port is not None and self._exporter is None:
+            self._exporter = MetricsExporter(
+                self._render_metrics, host=self.host, port=self.metrics_port
+            ).start()
+            self.metrics_port = self._exporter.port
         self.admission.start()
         if self.stream_ttl is not None:
             self._reaper_task = asyncio.get_running_loop().create_task(
@@ -393,6 +415,7 @@ class ValidationServer:
             return
         self._closing = True
         self._closed = True
+        self._close_exporter()
         if self._reaper_task is not None:
             self._reaper_task.cancel()
             try:
@@ -433,9 +456,19 @@ class ValidationServer:
         """
         self._closing = True
         self._closed = True
+        self._close_exporter()
         self._executor.shutdown(wait=True)
         for entry in self._designs.values():
             entry.close()
+
+    def _close_exporter(self) -> None:
+        exporter, self._exporter = self._exporter, None
+        if exporter is not None:
+            exporter.close()
+
+    def _render_metrics(self) -> str:
+        """The exposition text ``/metrics`` serves (roles may add gauges)."""
+        return render_exposition(self.metrics.registry.collect())
 
     async def run_in_executor(self, fn, *args):
         return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
@@ -458,6 +491,7 @@ class ValidationServer:
             max_workers=self.runtime_workers,
             shards=self.runtime_shards,
             validation_backend=self.validation_backend,
+            tracer=self.tracer,
         )
         try:
             runtime.propagate_typing(typing)
@@ -626,6 +660,8 @@ class ValidationServer:
         raw_id = body.get("id")
         request_id = raw_id if isinstance(raw_id, int) else None
         op = body.get("op")
+        raw_trace = body.get("trace")
+        trace_id = raw_trace if isinstance(raw_trace, str) and raw_trace else None
         started = time.perf_counter()
         try:
             if self._closing:
@@ -644,6 +680,8 @@ class ValidationServer:
             await self._post_op(op, body, result)
         except OpError as error:
             self.metrics.record_error(error.code)
+            if trace_id:
+                self.tracer.record(trace_id, "op.error", op=op, code=error.code)
             await connection.send_safely(
                 protocol.error_frame(
                     request_id, error.code, error.message, retry_after=error.retry_after
@@ -652,11 +690,20 @@ class ValidationServer:
             return
         except Exception as error:  # a bug, not a protocol situation -- still typed
             self.metrics.record_error("internal-error")
+            if trace_id:
+                self.tracer.record(trace_id, "op.error", op=op, code="internal-error")
             await connection.send_safely(
                 protocol.error_frame(request_id, "internal-error", f"{type(error).__name__}: {error}")
             )
             return
-        self.metrics.record_request(op, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request(op, elapsed)
+        if trace_id:
+            design = body.get("design")
+            if isinstance(design, str):
+                self.tracer.record_flat(trace_id, "op", elapsed * 1000.0, "op", op, "design", design)
+            else:
+                self.tracer.record_flat(trace_id, "op", elapsed * 1000.0, "op", op)
         await connection.send_safely(protocol.result_frame(request_id, result))
         if op == "shutdown":
             # After the acknowledgement is on the wire, let serve_forever
@@ -680,12 +727,15 @@ class ValidationServer:
                     "stream_ttl": self.stream_ttl,
                     "stream_inline_threshold": self.stream_inline_threshold,
                     "max_streams_per_shard": self.max_streams_per_shard,
+                    "metrics_port": self.metrics_port,
                 },
             }
         if op == "shutdown":
             return {"stopping": True}
         if op == "stats":
             return self._stats()
+        if op == "trace":
+            return self._trace(body)
         if op == "register_design":
             return await self._register(body)
         if op == "publish":
@@ -717,6 +767,20 @@ class ValidationServer:
         directory view is consistent by the time the client's reply lands.
         """
         return None
+
+    def _trace(self, body: dict) -> dict:
+        """Export the trace ring (optionally one trace id's events)."""
+        trace_id = body.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise OpError("bad-request", "'trace_id' must be a string")
+        limit = body.get("limit")
+        if limit is not None and not isinstance(limit, int):
+            raise OpError("bad-request", "'limit' must be an integer")
+        return {
+            "component": self.tracer.component,
+            "enabled": self.tracer.enabled,
+            "events": self.tracer.export(trace_id, limit),
+        }
 
     def _stats(self) -> dict:
         designs = {}
@@ -792,16 +856,27 @@ class ValidationServer:
         if not payload:
             raise OpError("bad-request", "publish carries no payload bytes")
         entry = self.design(design_id)  # fail fast before queueing
+        raw_trace = body.get("trace")
+        trace_id = raw_trace if isinstance(raw_trace, str) and raw_trace else None
         if (
             self.stream_inline_threshold is not None
             and len(payload) >= self.stream_inline_threshold
         ):
-            return await self._publish_streamed(entry, function, payload)
+            return await self._publish_streamed(entry, function, payload, trace_id)
         future = asyncio.get_running_loop().create_future()
-        return await self.admission.submit(_Publication(design_id, function, payload, future))
+        return await self.admission.submit(
+            _Publication(
+                design_id, function, payload, future,
+                trace_id=trace_id, enqueued=time.perf_counter(),
+            )
+        )
 
     async def _publish_streamed(
-        self, entry: RegisteredDesign, function: str, payload: bytes
+        self,
+        entry: RegisteredDesign,
+        function: str,
+        payload: bytes,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """Settle one oversized ``publish`` through the streaming ingest.
 
@@ -817,7 +892,7 @@ class ValidationServer:
             def settle():
                 ingest = entry.runtime.begin_stream(function)
                 ingest.feed(payload)
-                return entry.runtime.settle_stream(ingest)
+                return entry.runtime.settle_stream(ingest, trace_id=trace_id)
 
             try:
                 report, verdict = await self.run_in_executor(settle)
@@ -880,8 +955,18 @@ class ValidationServer:
         """Ingest one per-function-unique run of publications and settle it."""
         admitted: list[tuple[_Publication, bool]] = []
         for item in segment:
+            if item.trace_id and item.enqueued:
+                self.tracer.record_flat(
+                    item.trace_id,
+                    "queue.wait",
+                    1000 * (time.perf_counter() - item.enqueued),
+                    "function",
+                    item.function,
+                )
             try:
-                clean = entry.runtime.publish(item.function, item.payload)
+                clean = entry.runtime.publish(
+                    item.function, item.payload, trace_id=item.trace_id
+                )
             except ReproError as error:
                 settled.append((item, OpError("unknown-function", str(error))))
                 continue
@@ -948,9 +1033,11 @@ class ValidationServer:
         except ReproError as error:
             self._release_stream_slot(entry, shard)
             raise OpError("unknown-function", str(error)) from None
+        raw_trace = body.get("trace")
         state = _StreamState(
             entry, ingest, asyncio.Lock(), function,
             shard=shard, touched=asyncio.get_running_loop().time(),
+            trace_id=raw_trace if isinstance(raw_trace, str) and raw_trace else None,
         )
         connection.streams[stream_id] = state
         connection.reaped.discard(stream_id)
@@ -985,7 +1072,7 @@ class ValidationServer:
                 # on different connections settle in parallel up to that
                 # short critical section -- no global asyncio lock held.
                 report, verdict = await self.run_in_executor(
-                    state.entry.runtime.settle_stream, state.ingest
+                    state.entry.runtime.settle_stream, state.ingest, state.trace_id
                 )
         finally:
             self._release_stream_slot(state.entry, state.shard)

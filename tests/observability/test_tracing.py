@@ -1,0 +1,73 @@
+"""The bounded trace ring: recording, filtering, spans, the off switch."""
+
+from __future__ import annotations
+
+from repro.observability.tracing import DEFAULT_TRACE_CAPACITY, TraceRecorder, new_trace_id
+
+
+class TestTraceIds:
+    def test_ids_are_short_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(tid) == 16 for tid in ids)
+
+
+class TestTraceRecorder:
+    def test_records_component_stamped_events(self):
+        recorder = TraceRecorder(component="server")
+        recorder.record("t1", "op", duration_ms=1.25, op="publish", design="d")
+        (event,) = recorder.export()
+        assert event["trace"] == "t1"
+        assert event["name"] == "op"
+        assert event["component"] == "server"
+        assert event["ms"] == 1.25
+        assert event["op"] == "publish" and event["design"] == "d"
+        assert event["ts"] > 0
+
+    def test_filter_and_limit(self):
+        recorder = TraceRecorder()
+        for index in range(10):
+            recorder.record(f"t{index % 2}", "op", index=index)
+        mine = recorder.export("t1")
+        assert len(mine) == 5
+        assert all(event["trace"] == "t1" for event in mine)
+        tail = recorder.export("t1", limit=2)
+        assert [event["index"] for event in tail] == [7, 9]
+
+    def test_ring_is_bounded(self):
+        recorder = TraceRecorder(capacity=8)
+        for index in range(100):
+            recorder.record("t", "op", index=index)
+        events = recorder.export()
+        assert len(recorder) == 8
+        assert [event["index"] for event in events] == list(range(92, 100))
+        assert DEFAULT_TRACE_CAPACITY == 4096
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record("t", "op")
+        with recorder.span("t", "slow"):
+            pass
+        assert recorder.export() == []
+        assert len(recorder) == 0
+
+    def test_empty_trace_id_records_nothing(self):
+        recorder = TraceRecorder()
+        recorder.record(None, "op")
+        recorder.record("", "op")
+        assert recorder.export() == []
+
+    def test_span_measures_duration(self):
+        recorder = TraceRecorder()
+        with recorder.span("t", "work", op="x"):
+            pass
+        (event,) = recorder.export("t")
+        assert event["name"] == "work"
+        assert event["op"] == "x"
+        assert event["ms"] >= 0.0
+
+    def test_export_returns_copies(self):
+        recorder = TraceRecorder()
+        recorder.record("t", "op")
+        recorder.export()[0]["name"] = "mutated"
+        assert recorder.export()[0]["name"] == "op"

@@ -50,7 +50,10 @@ class TestHistogram:
     def test_empty_histogram(self):
         histogram = Histogram()
         assert histogram.percentile(0.5) == 0.0
-        assert histogram.snapshot() == {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        assert histogram.snapshot() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            "p999": 0.0, "max": 0.0,
+        }
 
     def test_reservoir_wraps_but_totals_stay_exact(self):
         histogram = Histogram(reservoir=8)
@@ -59,6 +62,30 @@ class TestHistogram:
         assert histogram.count == 100
         # Only the most recent 8 observations are retained for percentiles.
         assert histogram.percentile(0.0) >= 92.0
+        snapshot = histogram.snapshot()
+        # The snapshot's quantiles come from the same post-wrap reservoir
+        # window, while count/mean/max keep accounting for every record.
+        assert snapshot["count"] == 100
+        assert snapshot["p50"] >= 92.0
+        assert snapshot["p999"] <= snapshot["max"] == 99.0
+        assert snapshot["mean"] == pytest.approx(sum(range(100)) / 100)
+
+    def test_concurrent_record_from_threads(self):
+        histogram = Histogram(reservoir=64)
+
+        def spin(base: float) -> None:
+            for i in range(5_000):
+                histogram.record(base + i % 7)
+
+        threads = [threading.Thread(target=spin, args=(float(n),)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = histogram.snapshot()
+        assert histogram.count == 20_000
+        assert snapshot["count"] == 20_000
+        assert 0.0 <= snapshot["p50"] <= snapshot["max"] <= 9.0
 
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError):
@@ -114,6 +141,65 @@ class TestRegistry:
         assert snapshot["counters"]["batched_publications"] == 8
         assert snapshot["histograms"]["batch.size"]["max"] == 8.0
         assert snapshot["ledgers"]["wire.in"]["bytes"] == 128
+
+
+class TestMetricFamilies:
+    def test_name_convention_enforced(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter_family("Bad-Name", "nope")
+        with pytest.raises(ValueError):
+            registry.counter_family("not_repro_prefixed", "nope")
+        with pytest.raises(ValueError):
+            registry.counter_family("repro_ok_total", "nope", ("Bad-Label",))
+
+    def test_reregistration_must_match(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family("repro_things_total", "things", ("op",))
+        assert registry.counter_family("repro_things_total", "things", ("op",)) is family
+        with pytest.raises(ValueError):
+            registry.counter_family("repro_things_total", "things", ("other",))
+        with pytest.raises(ValueError):
+            registry.gauge_family("repro_things_total", "things", ("op",))
+
+    def test_labeled_snapshot_is_deterministic(self):
+        def build(order):
+            registry = MetricsRegistry()
+            family = registry.counter_family("repro_ops_total", "ops", ("op", "design"))
+            for op, design, amount in order:
+                family.labels(op=op, design=design).inc(amount)
+            return registry
+
+        forward = [("publish", "d1", 3), ("ping", "d1", 1), ("publish", "d2", 2)]
+        first = build(forward)
+        second = build(list(reversed(forward)))
+        assert first.snapshot()["families"] == second.snapshot()["families"]
+        assert first.collect() == second.collect()
+        samples = dict(
+            next(f for f in first.collect() if f["name"] == "repro_ops_total")["samples"]
+        )
+        assert samples[(("op", "publish"), ("design", "d1"))] == 3
+
+    def test_gauge_family_set_and_clear(self):
+        registry = MetricsRegistry()
+        family = registry.gauge_family("repro_live", "live things", ("pod",))
+        family.labels(pod="a").set(2)
+        family.labels(pod="a").inc()
+        family.labels(pod="b").set(7)
+        snapshot = family.snapshot()
+        assert snapshot == {"pod=a": 3.0, "pod=b": 7.0}
+        family.clear()
+        assert family.snapshot() == {}
+
+    def test_histogram_family_children(self):
+        registry = MetricsRegistry()
+        family = registry.histogram_family(
+            "repro_latency_ms", "latency", ("op",), reservoir=16
+        )
+        for value in (1.0, 2.0, 3.0):
+            family.labels(op="publish").record(value)
+        snapshot = family.snapshot()["op=publish"]
+        assert snapshot["count"] == 3 and snapshot["max"] == 3.0
 
 
 class TestNetworkUnification:
