@@ -321,11 +321,14 @@ def _scenario_observability_overhead(peers: int, documents: int):
     """The cost of full observability on the closed-loop throughput headline.
 
     One server carrying the full observability stack -- labeled metric
-    families, the ``/metrics`` exporter, an enabled trace ring -- driven
-    with the same workload twice per measurement: once with
-    per-publication tracing on (every publication mints and propagates a
-    fresh trace id), once dormant (no ids, so every record short-circuits
-    and the exporter sits idle).  Using *one* server instance is the
+    families, the ``/metrics`` exporter, an enabled trace ring, the
+    structured log ring, the sampling profiler -- driven with the same
+    workload twice per measurement: once fully observed (every
+    publication mints and propagates a fresh trace id, the log ring
+    records every op, the profiler samples at 50 hz), once dormant (no
+    ids, logging disabled, profiler stopped, so every record
+    short-circuits and the exporter sits idle).  Using *one* server
+    instance is the
     point: two separately-booted servers differ by up to ~10% from
     thread placement and allocator state alone, which drowns the few
     percent being measured.  Each round runs several back-to-back ABBA
@@ -363,7 +366,17 @@ def _scenario_observability_overhead(peers: int, documents: int):
     rounds = documents - peers + 1
     sizes = {"peers": peers, "documents": documents, "publications": rounds * peers, "clients": 4}
 
-    def drive(trace):
+    def drive(observe):
+        # The whole stack toggles together: trace ids on the wire, the
+        # structured log ring, and the 50 hz sampling profiler are one
+        # "observed" posture (the CI gate covers their combined cost).
+        server = handle.server
+        if observe:
+            server.logger.enabled = True
+            server.profiler.start(hz=50, reset=False)
+        else:
+            server.profiler.stop()
+            server.logger.enabled = False
         # Collect *between* drives so a full collection's pause never
         # lands inside one side of a pair (the peers' network logs keep
         # the heap growing across drives).
@@ -371,7 +384,7 @@ def _scenario_observability_overhead(peers: int, documents: int):
         start = time.process_time()
         report = run_load(
             handle.host, handle.port, workload, design="bench",
-            clients=4, pipeline=8, register=False, trace=trace,
+            clients=4, pipeline=8, register=False, trace=observe,
         )
         cpu = time.process_time() - start
         assert report.errors == 0
@@ -386,15 +399,15 @@ def _scenario_observability_overhead(peers: int, documents: int):
             # The cycle direction alternates (ABBA then BAAB) so any
             # position-in-cycle effect lands on each side equally often.
             if cycle % 2 == 0:
-                off_a = drive(trace=False)
-                on_a = drive(trace=True)
-                on_b = drive(trace=True)
-                off_b = drive(trace=False)
+                off_a = drive(observe=False)
+                on_a = drive(observe=True)
+                on_b = drive(observe=True)
+                off_b = drive(observe=False)
             else:
-                on_a = drive(trace=True)
-                off_a = drive(trace=False)
-                off_b = drive(trace=False)
-                on_b = drive(trace=True)
+                on_a = drive(observe=True)
+                off_a = drive(observe=False)
+                off_b = drive(observe=False)
+                on_b = drive(observe=True)
             plain_cpu.extend((off_a[0], off_b[0]))
             observed_cpu.extend((on_a[0], on_b[0]))
             plain_tps.extend((off_a[1], off_b[1]))

@@ -42,6 +42,7 @@ from repro.engine import (
     use_engine,
 )
 from repro.federation import Federation
+from repro.observability.logs import LogRecorder
 from repro.observability.tracing import TraceRecorder, new_trace_id
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceHandle, ValidationServer
@@ -336,6 +337,7 @@ class DesignSession:
         }
         self._closed = False
         self._tracer: Optional[TraceRecorder] = None
+        self._logger: Optional[LogRecorder] = None
         self._document: Optional[DistributedDocument] = None
         self._runtime: Optional[ValidationRuntime] = None
         self._handle: Optional[ServiceHandle] = None
@@ -346,12 +348,14 @@ class DesignSession:
             self._document.propagate_typing(self.typing)
         elif config.mode == "runtime":
             self._tracer = TraceRecorder(component="runtime")
+            self._logger = LogRecorder(component="runtime")
             self._runtime = ValidationRuntime(
                 DistributedDocument(self.kernel, dict(self.documents)),
                 max_workers=config.workers,
                 shards=config.shards,
                 validation_backend=config.backend,
                 tracer=self._tracer,
+                logger=self._logger,
             )
             self._runtime.propagate_typing(self.typing)
         elif config.mode == "service":
@@ -494,6 +498,27 @@ class DesignSession:
             return self._client.trace(trace_id, limit=limit)["events"]
         if self._federation is not None:
             return self._federation.trace(trace_id, limit=limit)
+        return []
+
+    def logs(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+        level: Optional[str] = None,
+    ) -> list:
+        """The substrate's structured log events (the prose twin of trace).
+
+        Serial mode records nothing; runtime mode reads the in-process log
+        ring; service mode pulls the server's ring over the ``logs`` wire
+        op; federation mode merges every member's ring by timestamp.
+        """
+        self._ensure_open()
+        if self._logger is not None:
+            return self._logger.export(trace_id, limit, level)
+        if self._client is not None:
+            return self._client.logs(trace_id, limit=limit, level=level)["events"]
+        if self._federation is not None:
+            return self._federation.logs(trace_id, limit=limit, level=level)
         return []
 
     def validate(self, force: bool = False) -> dict:

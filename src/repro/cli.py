@@ -37,7 +37,13 @@ designer's tool:
   snapshot (``--watch N`` keeps refreshing it);
 * ``repro-design trace HOST:PORT --id TRACE`` — reconstruct one
   publication's lifecycle from the trace rings (a directory endpoint
-  fans out to every live pod, merging the rings by timestamp).
+  fans out to every live pod, merging the rings by timestamp);
+* ``repro-design logs HOST:PORT --id TRACE`` — the prose twin of
+  ``trace``: stitch the structured log rings into one time-ordered story;
+* ``repro-design profile HOST:PORT --duration 2`` — sample a live
+  member's stacks and print flamegraph-compatible collapsed output;
+* ``repro-design slo HOST:PORT`` — summarize latency objectives and
+  error-budget burn rates (exit 1 when an objective is violated).
 
 Every subcommand accepts ``--json`` for machine-readable output (what CI
 and scripts consume).
@@ -475,6 +481,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(trace, "the trace events")
 
+    logs = subparsers.add_parser(
+        "logs",
+        help="stitch structured log lines from the log rings (the prose twin of trace)",
+    )
+    logs.add_argument(
+        "endpoint",
+        metavar="HOST:PORT",
+        help="server endpoint to query (a directory fans out to its live pods)",
+    )
+    logs.add_argument(
+        "--id",
+        dest="trace_id",
+        default=None,
+        metavar="TRACE",
+        help="only this trace id's events (default: the whole ring)",
+    )
+    logs.add_argument(
+        "--level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="only events at or above this severity",
+    )
+    logs.add_argument(
+        "--limit", type=int, default=None, help="at most this many events per member"
+    )
+    _add_json_argument(logs, "the log events")
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="sample a live member's stacks and print flamegraph collapsed output",
+    )
+    profile.add_argument("endpoint", metavar="HOST:PORT", help="server endpoint to profile")
+    profile.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="sample for this long, then fetch and stop (default: 2s)",
+    )
+    profile.add_argument(
+        "--hz", type=float, default=None, help="sampling rate (default: the server's)"
+    )
+    profile.add_argument(
+        "--action",
+        default=None,
+        choices=("start", "stop", "status", "fetch"),
+        help="issue one profiler action instead of a timed start/fetch/stop run",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=None, help="at most this many collapsed stacks"
+    )
+    _add_json_argument(profile, "the profiler snapshot")
+
+    slo = subparsers.add_parser(
+        "slo",
+        help="summarize a live server's SLO posture (latency objectives, burn rates)",
+    )
+    slo.add_argument("endpoint", metavar="HOST:PORT", help="server endpoint to query")
+    _add_json_argument(slo, "the SLO summary")
+
     federate = subparsers.add_parser(
         "federate",
         help="spawn a directory + N pods and differentially check a workload through them",
@@ -796,15 +862,28 @@ def _run_stats(args: argparse.Namespace) -> int:
     import time
 
     from repro.service.client import ServiceClient
+    from repro.service.protocol import ServiceError
 
     host, port = _parse_endpoint(args.endpoint)
     try:
         while True:
-            client = ServiceClient(host, port)
             try:
-                snapshot = client.stats()
-            finally:
-                client.close()
+                client = ServiceClient(host, port)
+                try:
+                    snapshot = client.stats()
+                finally:
+                    client.close()
+            except (ServiceError, ConnectionError, OSError) as error:
+                # In watch mode a server that goes away mid-session is the
+                # expected end of the story, not a stack trace.
+                if args.watch is None:
+                    if isinstance(error, ServiceError):
+                        raise
+                    raise ServiceError(
+                        "connection-lost", f"cannot reach {host}:{port}: {error}"
+                    ) from None
+                print("server gone")
+                return 0
             if args.json:
                 _emit_json(snapshot)
             else:
@@ -818,18 +897,19 @@ def _run_stats(args: argparse.Namespace) -> int:
         return 0
 
 
-def _collect_trace_events(args: argparse.Namespace) -> list[dict]:
-    """This endpoint's trace ring, plus -- via the directory's membership
-    view -- every live pod's, so one command reconstructs a publication's
-    lifecycle across a whole process federation."""
+def _collect_ring_events(endpoint: str, fetch) -> list[dict]:
+    """This endpoint's ring, plus -- via the directory's membership view --
+    every live pod's, so one command reconstructs a publication's story
+    across a whole process federation.  ``fetch(client)`` pulls one
+    member's events (the ``trace`` or ``logs`` wire op)."""
     from repro.service.client import ServiceClient
     from repro.service.protocol import ServiceError
 
-    host, port = _parse_endpoint(args.endpoint)
+    host, port = _parse_endpoint(endpoint)
     events: list[dict] = []
     client = ServiceClient(host, port)
     try:
-        events.extend(client.trace(args.trace_id, limit=args.limit)["events"])
+        events.extend(fetch(client))
         try:
             members = client.membership()["pods"]
         except ServiceError:  # a plain server or pod: nothing to fan out to
@@ -837,18 +917,25 @@ def _collect_trace_events(args: argparse.Namespace) -> list[dict]:
     finally:
         client.close()
     for _pod_id, record in sorted(members.items()):
-        endpoint = record.get("endpoint")
-        if not endpoint or record.get("expired"):
+        pod_endpoint = record.get("endpoint")
+        if not pod_endpoint or record.get("expired"):
             continue
-        peer = ServiceClient(str(endpoint[0]), int(endpoint[1]))
+        peer = ServiceClient(str(pod_endpoint[0]), int(pod_endpoint[1]))
         try:
-            events.extend(peer.trace(args.trace_id, limit=args.limit)["events"])
+            events.extend(fetch(peer))
         except (ServiceError, OSError):
             pass  # a pod mid-restart; the remaining rings still tell the story
         finally:
             peer.close()
     events.sort(key=lambda event: event.get("ts", 0.0))
     return events
+
+
+def _collect_trace_events(args: argparse.Namespace) -> list[dict]:
+    return _collect_ring_events(
+        args.endpoint,
+        lambda client: client.trace(args.trace_id, limit=args.limit)["events"],
+    )
 
 
 def _run_trace(args: argparse.Namespace) -> int:
@@ -872,6 +959,104 @@ def _run_trace(args: argparse.Namespace) -> int:
         line = f"+{offset:9.3f} ms  [{event.get('component', '?'):<12}] {event.get('name', '?'):<18}{took}"
         print(f"{line}  {attrs}".rstrip())
     return 0
+
+
+def _run_logs(args: argparse.Namespace) -> int:
+    events = _collect_ring_events(
+        args.endpoint,
+        lambda client: client.logs(
+            args.trace_id, limit=args.limit, level=args.level
+        )["events"],
+    )
+    if args.json:
+        _emit_json({"trace": args.trace_id, "events": events})
+        return 0 if events else 1
+    if not events:
+        print("no log events recorded")
+        return 1
+    base = events[0].get("ts", 0.0)
+    for event in events:
+        offset = 1000 * (event.get("ts", base) - base)
+        attrs = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("trace", "msg", "component", "ts", "level")
+        )
+        line = (
+            f"+{offset:9.3f} ms  {event.get('level', '?'):<7} "
+            f"[{event.get('component', '?'):<12}] {event.get('msg', '?')}"
+        )
+        print(f"{line}  {attrs}".rstrip())
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    host, port = _parse_endpoint(args.endpoint)
+    client = ServiceClient(host, port)
+    try:
+        if args.action is not None:
+            result = client.profile(args.action, hz=args.hz, limit=args.limit)
+        else:
+            # The default worked example: start, sample for --duration,
+            # fetch the collapsed stacks, stop.
+            client.profile("start", hz=args.hz)
+            time.sleep(max(0.0, args.duration))
+            result = client.profile("fetch", limit=args.limit)
+            client.profile("stop")
+    finally:
+        client.close()
+    if args.json:
+        _emit_json(result)
+        return 0
+    collapsed = result.get("collapsed")
+    if collapsed:
+        print(collapsed)
+    print(
+        f"# samples={result.get('samples', 0)} stacks={result.get('stacks', 0)} "
+        f"hz={result.get('hz')} running={result.get('running')}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_slo(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    host, port = _parse_endpoint(args.endpoint)
+    client = ServiceClient(host, port)
+    try:
+        snapshot = client.stats()
+    finally:
+        client.close()
+    slo = snapshot.get("slo")
+    if not isinstance(slo, dict):
+        print("error: this server reports no SLO summary", file=sys.stderr)
+        return 1
+    if args.json:
+        _emit_json(slo)
+        return 0 if slo.get("ok") else 1
+    print(f"SLO posture: {'OK' if slo.get('ok') else 'VIOLATED'}")
+    print(
+        f"  error budget {slo.get('error_budget')} over "
+        f"{slo.get('requests_total', 0)} requests "
+        f"({slo.get('budget_errors_total', 0)} budget-spending errors)"
+    )
+    for window, rate in sorted((slo.get("burn_rates") or {}).items()):
+        print(f"  burn rate [{window:>5}]: {rate:8.4f}")
+    latency = slo.get("latency") or {}
+    for op in sorted(latency):
+        entry = latency[op]
+        marker = "ok" if entry.get("ok") else "VIOLATED"
+        print(
+            f"  latency {op:<20} p99 {entry.get('p99_ms', 0.0):9.3f} ms "
+            f"(target {entry.get('target_ms', 0.0):9.3f} ms, "
+            f"n={entry.get('count', 0)}) {marker}"
+        )
+    return 0 if slo.get("ok") else 1
 
 
 def _run_federate(args: argparse.Namespace) -> int:
@@ -1102,6 +1287,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "federate": _run_federate,
         "stats": _run_stats,
         "trace": _run_trace,
+        "logs": _run_logs,
+        "profile": _run_profile,
+        "slo": _run_slo,
     }
     # Each invocation runs on a fresh engine so that --stats reports the hit
     # rates of this run alone, not of the whole process.

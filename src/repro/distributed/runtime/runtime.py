@@ -399,6 +399,7 @@ class ValidationRuntime:
         backend: str = "thread",
         validation_backend: Optional[str] = None,
         tracer=None,
+        logger=None,
     ) -> None:
         from repro.engine.backends import resolve_backend
 
@@ -411,6 +412,10 @@ class ValidationRuntime:
         #: settle event with the publication's trace even when the
         #: validation round runs later, from another thread.
         self.tracer = tracer
+        #: Optional :class:`repro.observability.LogRecorder` -- the trace
+        #: ring's prose twin; publish/settle outcomes are logged into it
+        #: with the same wire-propagated trace ids.
+        self.logger = logger
         functions = tuple(document.resources)
         peer_count = max(1, len(functions))
         workers, shard_count = resolve_pool(peer_count, max_workers, shards)
@@ -549,6 +554,11 @@ class ValidationRuntime:
                     self.tracer.record_flat(
                         trace_id, "runtime.publish", None, "function", function, "clean", True
                     )
+                if self.logger is not None:
+                    self.logger.log_flat(
+                        "debug", "publication clean (fingerprint hit)", trace_id,
+                        "function", function,
+                    )
                 return True
             self._pending_payloads[function] = (fingerprint, payload)
             if trace_id is not None:
@@ -557,6 +567,11 @@ class ValidationRuntime:
         if self.tracer is not None:
             self.tracer.record_flat(
                 trace_id, "runtime.publish", None, "function", function, "clean", False
+            )
+        if self.logger is not None:
+            self.logger.log_flat(
+                "info", "publication queued for validation", trace_id,
+                "function", function, "bytes", len(payload),
             )
         return False
 
@@ -614,6 +629,12 @@ class ValidationRuntime:
                 backend=self.validation_backend,
                 payload_bytes=report.payload_bytes,
                 peer_valid=report.valid,
+            )
+        if self.logger is not None:
+            self.logger.log_flat(
+                "warning" if report.malformed else "info", "stream settled", trace_id,
+                "function", report.function, "peer_valid", report.valid,
+                "bytes", report.payload_bytes, "malformed", report.malformed,
             )
         return report, verdict
 
@@ -749,6 +770,15 @@ class ValidationRuntime:
                             outcome.ack,
                             "validated",
                             outcome.validated,
+                        )
+            if self.logger is not None and traces:
+                for outcome in outcomes:
+                    trace_id = traces.get(outcome.function)
+                    if trace_id:
+                        self.logger.log_flat(
+                            "info", "shard settled publication", trace_id,
+                            "shard", shard, "function", outcome.function,
+                            "ack", outcome.ack,
                         )
             return outcomes
 

@@ -78,6 +78,7 @@ class DirectoryServer(ValidationServer):
     def __init__(self, *args, lease_ttl: float = DEFAULT_LEASE_TTL, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.tracer.component = "directory"
+        self.logger.component = "directory"
         self.lease_ttl = lease_ttl
         self._pods: dict[str, PodRecord] = {}
         self._typing_version = 0
@@ -147,6 +148,23 @@ class DirectoryServer(ValidationServer):
                 )
 
     # ------------------------------------------------------------------ #
+    # readiness: the directory aggregates federation-wide health
+    # ------------------------------------------------------------------ #
+
+    def _readiness_checks(self) -> dict:
+        """The directory is routable only while every joined pod is leased.
+
+        A federation whose membership has expired entries cannot answer a
+        complete global verdict, so balancers should stop sending design
+        work here until the pods come back (or are deliberately removed).
+        """
+        checks = super()._readiness_checks()
+        now = self._lease_clock()
+        pods = list(self._pods.values())
+        checks["federation_leases"] = all(not record.expired(now) for record in pods)
+        return checks
+
+    # ------------------------------------------------------------------ #
     # op dispatch
     # ------------------------------------------------------------------ #
 
@@ -188,6 +206,10 @@ class DirectoryServer(ValidationServer):
             record.endpoint = resolved or record.endpoint
             record.expires_at = now + self.lease_ttl
             record.joins += 1
+        self.logger.info(
+            "pod joined", pod=pod, functions=len(record.functions),
+            joins=record.joins, pods=len(self._pods),
+        )
         return {
             "pod": pod,
             "lease_ttl": self.lease_ttl,
@@ -256,11 +278,21 @@ class DirectoryServer(ValidationServer):
             verdicts.acks[function] = (bool(ack), version, pod)
         after = self._global_verdict_of(design)["valid"]
         self._last_global[design] = after
+        self.logger.log_flat(
+            "info", "verdict recorded", trace_id,
+            "pod", pod, "design", design, "recorded", len(acks),
+        )
         if trace_id:
             self.tracer.record(
                 trace_id, "verdict.record", pod=pod, design=design, recorded=len(acks)
             )
-            if after is not before:
+        if after is not before:
+            self.logger.log_flat(
+                "info", "global verdict flipped", trace_id,
+                "design", design,
+                "old", _verdict_state(before), "new", _verdict_state(after),
+            )
+            if trace_id:
                 self.tracer.record(
                     trace_id,
                     "verdict.flip",

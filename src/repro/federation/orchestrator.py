@@ -432,6 +432,36 @@ class Federation:
         events.sort(key=lambda event: event.get("ts", 0.0))
         return events
 
+    def logs(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+        level: Optional[str] = None,
+    ) -> list:
+        """The federation's structured log lines, merged and time-ordered.
+
+        The prose twin of :meth:`trace`: each member's log ring is pulled
+        over the ``logs`` wire op and the events merge by wall-clock
+        timestamp, so one trace id yields a single readable story spanning
+        pods and directory even across OS processes.
+        """
+        events: list[dict] = []
+        for _member_id, _role, client, _host in self._members():
+            events.extend(client.logs(trace_id, limit=limit, level=level)["events"])
+        events.sort(key=lambda event: event.get("ts", 0.0))
+        return events
+
+    def health_endpoints(self) -> dict[str, dict[str, str]]:
+        """``member_id -> {"healthz": url, "readyz": url}`` for exporting members."""
+        endpoints: dict[str, dict[str, str]] = {}
+        for member_id, url in self.metrics_endpoints().items():
+            base = url.rsplit("/", 1)[0]
+            endpoints[member_id] = {
+                "healthz": f"{base}/healthz",
+                "readyz": f"{base}/readyz",
+            }
+        return endpoints
+
     def resync(self) -> dict:
         """Force every live pod to re-join and re-push to the directory.
 

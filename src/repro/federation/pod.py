@@ -60,6 +60,7 @@ class PodServer(ValidationServer):
         super().__init__(*args, **kwargs)
         self.pod_id = pod_id
         self.tracer.component = f"pod:{pod_id}"
+        self.logger.component = f"pod:{pod_id}"
         self.directory_host = directory_host
         self.directory_port = directory_port
         self.lease_interval = lease_interval
@@ -69,6 +70,9 @@ class PodServer(ValidationServer):
         self.directory_errors = 0
         self._directory_client: Optional[AsyncServiceClient] = None
         self._lease_task: Optional[asyncio.Task] = None
+        #: Monotonic stamp of the last successful directory interaction;
+        #: ``/readyz`` calls the lease stale past 3 heartbeat periods.
+        self._lease_ok_at: Optional[float] = None
         #: design -> the typing version its verdicts are stamped with
         #: (supplied by the orchestrator as an extra ``register_design`` /
         #: ``typing_update`` field; defaults to 0).
@@ -179,7 +183,34 @@ class PodServer(ValidationServer):
 
     async def _note_directory_error(self) -> None:
         self.directory_errors += 1
+        self.logger.warning(
+            "directory interaction failed",
+            pod=self.pod_id, errors=self.directory_errors,
+        )
         await self._drop_directory_client()
+
+    # ------------------------------------------------------------------ #
+    # readiness: a pod is routable only while its lease is fresh
+    # ------------------------------------------------------------------ #
+
+    def lease_fresh(self) -> bool:
+        """True while the directory acked us within 3 heartbeat periods.
+
+        Vacuously true for a standalone pod (no directory configured):
+        there is no federation to be absent from.
+        """
+        if self.directory_host is None:
+            return True
+        stamp = self._lease_ok_at
+        return stamp is not None and time.monotonic() - stamp < 3 * self.lease_interval
+
+    def _readiness_checks(self) -> dict:
+        checks = super()._readiness_checks()
+        checks["lease_fresh"] = self.lease_fresh()
+        return checks
+
+    def _note_lease_ok(self) -> None:
+        self._lease_ok_at = time.monotonic()
 
     async def _sync_directory(self) -> bool:
         """(Re-)join and push every design's verdicts; False on failure.
@@ -209,6 +240,11 @@ class PodServer(ValidationServer):
                         entry.runtime.peer_acks(),
                         self._design_typing_version.get(design_id, 0),
                     )
+                self._note_lease_ok()
+                self.logger.info(
+                    "joined directory", pod=self.pod_id,
+                    functions=len(functions), designs=len(self._designs),
+                )
                 return True
             except (ServiceError, OSError, ConnectionError):
                 # Drops the cached connection, so the retry re-dials.
@@ -235,7 +271,12 @@ class PodServer(ValidationServer):
             await self._note_directory_error()
             if trace_id:
                 self.tracer.record(trace_id, "verdict.push_failed", design=design_id)
+            self.logger.log_flat(
+                "warning", "verdict push failed", trace_id,
+                "design", design_id, "pod", self.pod_id,
+            )
             return False
+        self._note_lease_ok()
         if trace_id:
             self.tracer.record(
                 trace_id,
@@ -244,6 +285,10 @@ class PodServer(ValidationServer):
                 design=design_id,
                 pod=self.pod_id,
             )
+        self.logger.log_flat(
+            "info", "verdict pushed to directory", trace_id,
+            "design", design_id, "pod", self.pod_id,
+        )
         return True
 
     async def _lease_loop(self) -> None:
@@ -254,10 +299,14 @@ class PodServer(ValidationServer):
                 if client is None:
                     continue
                 await client.lease_renew(self.pod_id)
+                self._note_lease_ok()
             except ServiceError as error:
                 if error.code == "unknown-pod":
                     # The directory restarted: membership and verdicts are
                     # gone.  Re-join and re-push everything.
+                    self.logger.warning(
+                        "directory lost our membership; resyncing", pod=self.pod_id
+                    )
                     await self._sync_directory()
                 else:
                     await self._note_directory_error()

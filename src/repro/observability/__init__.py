@@ -1,16 +1,26 @@
-"""Observability: Prometheus-style exposition and publication tracing.
+"""Observability: exposition, tracing, logging, SLOs and live profiling.
 
-Two small, dependency-free subsystems every serving layer shares:
+Small, dependency-free subsystems every serving layer shares:
 
 * :mod:`repro.observability.exposition` -- renders a
   :class:`~repro.metrics.MetricsRegistry`'s labeled families as
   Prometheus text format 0.0.4 and serves it over a lightweight HTTP
-  ``/metrics`` endpoint (:class:`MetricsExporter`), plus the label-merge
-  helper ``Federation.scrape_all()`` uses for single-pane scraping;
+  endpoint (:class:`MetricsExporter`) that also routes JSON side pages
+  such as ``/healthz`` and ``/readyz``, plus the label-merge helper
+  ``Federation.scrape_all()`` uses for single-pane scraping;
 * :mod:`repro.observability.tracing` -- a bounded in-memory span/event
   recorder (:class:`TraceRecorder`) keyed by wire-propagated trace ids,
   so one publication's lifecycle (queue wait, shard settle, ack push,
-  verdict flip) can be reconstructed even across process pods.
+  verdict flip) can be reconstructed even across process pods;
+* :mod:`repro.observability.logs` -- the prose twin of the trace ring: a
+  bounded ring of leveled structured log events (:class:`LogRecorder`)
+  carrying the same trace ids, with an optional JSON-lines sink;
+* :mod:`repro.observability.slo` -- declared per-op latency objectives
+  and an availability error budget evaluated as multi-window burn rates
+  (:class:`SloEvaluator`), exported as ``repro_slo_*`` gauges;
+* :mod:`repro.observability.profiling` -- a sampling profiler
+  (:class:`SamplingProfiler`) over ``sys._current_frames()`` producing
+  flamegraph-compatible collapsed stacks from a live process.
 """
 
 from repro.observability.exposition import (
@@ -19,11 +29,19 @@ from repro.observability.exposition import (
     merge_expositions,
     render_exposition,
 )
+from repro.observability.logs import LogRecorder
+from repro.observability.profiling import SamplingProfiler
+from repro.observability.slo import DEFAULT_OBJECTIVES, LatencyObjective, SloEvaluator
 from repro.observability.tracing import TraceRecorder, new_trace_id
 
 __all__ = [
+    "DEFAULT_OBJECTIVES",
     "EXPOSITION_CONTENT_TYPE",
+    "LatencyObjective",
+    "LogRecorder",
     "MetricsExporter",
+    "SamplingProfiler",
+    "SloEvaluator",
     "TraceRecorder",
     "merge_expositions",
     "new_trace_id",

@@ -21,10 +21,11 @@ returns one valid document covering the whole topology.
 
 from __future__ import annotations
 
+import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 __all__ = [
     "EXPOSITION_CONTENT_TYPE",
@@ -147,16 +148,30 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-metrics/1"
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
-            self.send_error(404, "only /metrics is served here")
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            try:
+                body = self.server.collect().encode("utf-8")  # type: ignore[attr-defined]
+            except Exception as error:  # pragma: no cover - collector bug surface
+                self.send_error(500, f"collector failed: {error}")
+                return
+            self._reply(200, body, EXPOSITION_CONTENT_TYPE)
+            return
+        route = self.server.routes.get(path)  # type: ignore[attr-defined]
+        if route is None:
+            self.send_error(404, "unknown path: this exporter serves /metrics")
             return
         try:
-            body = self.server.collect().encode("utf-8")  # type: ignore[attr-defined]
-        except Exception as error:  # pragma: no cover - collector bug surface
-            self.send_error(500, f"collector failed: {error}")
+            status, payload = route()
+        except Exception as error:  # pragma: no cover - route bug surface
+            self.send_error(500, f"route failed: {error}")
             return
-        self.send_response(200)
-        self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+        body = (json.dumps(payload, default=str, sort_keys=True) + "\n").encode("utf-8")
+        self._reply(status, body, "application/json; charset=utf-8")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -173,12 +188,22 @@ class MetricsExporter:
     as :attr:`port` after :meth:`start`.  ``collect`` runs on the scrape
     thread -- it must be thread-safe (the metrics layer is lock-based
     throughout, and collectors that refresh gauges take their own locks).
+
+    ``routes`` mounts JSON side pages on the same listener: a mapping of
+    absolute path (e.g. ``"/healthz"``) to a zero-argument callable
+    returning ``(status, payload)``; the payload is serialized as JSON.
+    Anything outside ``/metrics``, ``/`` and the routes is a 404.
     """
 
     def __init__(
-        self, collect: Callable[[], str], host: str = "127.0.0.1", port: int = 0
+        self,
+        collect: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        routes: Optional[Mapping[str, Callable[[], tuple[int, dict]]]] = None,
     ) -> None:
         self._collect = collect
+        self._routes = dict(routes or {})
         self.host = host
         self.port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -190,6 +215,7 @@ class MetricsExporter:
         httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
         httpd.daemon_threads = True
         httpd.collect = self._collect  # type: ignore[attr-defined]
+        httpd.routes = self._routes  # type: ignore[attr-defined]
         self._httpd = httpd
         self.host, self.port = httpd.server_address[0], httpd.server_address[1]
         self._thread = threading.Thread(

@@ -1,0 +1,177 @@
+"""Structured, leveled log events keyed by wire-propagated trace ids.
+
+The prose twin of :mod:`repro.observability.tracing`: where the trace
+ring answers "how long did each hop take", the log ring answers "what
+happened, in words".  Each server-side component owns one
+:class:`LogRecorder` -- a bounded ring of compact event tuples -- and
+emits leveled events from the op loop, the admission controller, the
+runtime's publish/settle paths, the pod's lease and verdict-push duties
+and the directory's verdict bookkeeping.  Events carry the component,
+a severity level, a human-readable message and (when the request was
+traced) the wire-propagated trace id, so ``Federation.logs(tid)`` and
+``repro-design logs --id TID`` can stitch one publication's prose
+time-ordered across a multi-process federation, interleaved with its
+trace spans.
+
+The ring shares the trace recorder's hot-path design: recording is one
+flat tuple build plus one GIL-atomic ``deque.append`` (no lock), events
+below the recorder's level return before any work, and entries are flat
+tuples of atomic values so CPython's GC untracks them -- the ring's
+churn never feeds the cyclic collector's older generations.  Unlike
+traces, log events are recorded even *without* a trace id: a lease
+failure or a shed burst is operationally interesting no matter whether
+any client asked for tracing.
+
+An optional :attr:`LogRecorder.sink` (any writable text stream) mirrors
+every retained event as one JSON line -- what makes a member greppable
+when it runs under a supervisor that captures stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import IO, Optional
+
+__all__ = ["LEVELS", "LogRecorder"]
+
+#: Default bound of a recorder's event ring.
+DEFAULT_LOG_CAPACITY = 4096
+
+#: Severity levels, least to most severe (the syslog-ish subset we need).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _level_number(level: str) -> int:
+    number = LEVELS.get(level)
+    if number is None:
+        raise ValueError(f"unknown log level {level!r}: expected one of {sorted(LEVELS)}")
+    return number
+
+
+class LogRecorder:
+    """A bounded in-memory ring of leveled log events, safe from any thread.
+
+    Events are stored as flat ``(trace_id, level, message, ts, key,
+    value, ...)`` tuples -- atomics only, so the GC untracks them -- and
+    only expanded to dicts by :meth:`export`; the recorder's
+    ``component`` is stamped at export time, exactly like the trace
+    ring.  ``level`` gates recording: events below it are dropped before
+    any tuple is built (the off switch for the hot path).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_LOG_CAPACITY,
+        enabled: bool = True,
+        component: str = "service",
+        level: str = "debug",
+        sink: Optional[IO[str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("the log ring needs at least one slot")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.component = component
+        self._threshold = _level_number(level)
+        self._level = level
+        #: Optional JSON-lines mirror (e.g. ``sys.stderr``); every
+        #: retained event is written as one line at record time.
+        self.sink = sink
+        # deque.append/list(deque) are GIL-atomic: no lock on the hot path.
+        self._events: deque[tuple] = deque(maxlen=capacity)
+
+    @property
+    def level(self) -> str:
+        return self._level
+
+    @level.setter
+    def level(self, level: str) -> None:
+        self._threshold = _level_number(level)
+        self._level = level
+
+    def log(
+        self,
+        level: str,
+        message: str,
+        trace_id: Optional[str] = None,
+        **attrs,
+    ) -> None:
+        """Append one event; a no-op when disabled or below the level."""
+        if not self.enabled or LEVELS.get(level, 0) < self._threshold:
+            return
+        flat: tuple = (trace_id or None, level, message, time.time())
+        for pair in attrs.items():
+            flat += pair
+        self._events.append(flat)
+        if self.sink is not None:
+            self._emit(flat)
+
+    def log_flat(
+        self, level: str, message: str, trace_id: Optional[str], *pairs
+    ) -> None:
+        """:meth:`log` for hot paths: attrs as flat positional pairs.
+
+        ``log_flat("info", "op completed", tid, "op", op)`` skips the
+        kwargs-dict build -- one tuple concat and one append.
+        """
+        if not self.enabled or LEVELS.get(level, 0) < self._threshold:
+            return
+        flat = (trace_id or None, level, message, time.time()) + pairs
+        self._events.append(flat)
+        if self.sink is not None:
+            self._emit(flat)
+
+    def debug(self, message: str, trace_id: Optional[str] = None, **attrs) -> None:
+        self.log("debug", message, trace_id, **attrs)
+
+    def info(self, message: str, trace_id: Optional[str] = None, **attrs) -> None:
+        self.log("info", message, trace_id, **attrs)
+
+    def warning(self, message: str, trace_id: Optional[str] = None, **attrs) -> None:
+        self.log("warning", message, trace_id, **attrs)
+
+    def error(self, message: str, trace_id: Optional[str] = None, **attrs) -> None:
+        self.log("error", message, trace_id, **attrs)
+
+    def _emit(self, flat: tuple) -> None:
+        """Mirror one event to the sink as a JSON line (never raises)."""
+        try:
+            self.sink.write(json.dumps(self._expand(flat), default=str) + "\n")
+        except (OSError, ValueError):  # a closed or broken sink never fails an op
+            pass
+
+    def _expand(self, flat: tuple) -> dict:
+        trace_id, level, message, ts = flat[:4]
+        event = {
+            "level": level,
+            "component": self.component,
+            "msg": message,
+            "ts": ts,
+        }
+        if trace_id is not None:
+            event["trace"] = trace_id
+        for index in range(4, len(flat), 2):
+            event[flat[index]] = flat[index + 1]
+        return event
+
+    def export(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+        level: Optional[str] = None,
+    ) -> list[dict]:
+        """The retained events (optionally one trace's / one level up), oldest first."""
+        events = list(self._events)
+        if trace_id is not None:
+            events = [event for event in events if event[0] == trace_id]
+        if level is not None:
+            floor = _level_number(level)
+            events = [event for event in events if LEVELS.get(event[1], 0) >= floor]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return [self._expand(flat) for flat in events]
+
+    def __len__(self) -> int:
+        return len(self._events)

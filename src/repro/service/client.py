@@ -172,6 +172,39 @@ class _RequestMixin:
             fields["limit"] = limit
         return self._call("trace", fields)
 
+    def logs(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+        level: Optional[str] = None,
+    ):
+        """Export the server's structured log ring (optionally filtered)."""
+        fields = {}
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        if limit is not None:
+            fields["limit"] = limit
+        if level is not None:
+            fields["level"] = level
+        return self._call("logs", fields)
+
+    def profile(
+        self,
+        action: str = "status",
+        hz: Optional[float] = None,
+        reset: Optional[bool] = None,
+        limit: Optional[int] = None,
+    ):
+        """Drive the server's sampling profiler (start/stop/status/fetch)."""
+        fields = {"action": action}
+        if hz is not None:
+            fields["hz"] = hz
+        if reset is not None:
+            fields["reset"] = reset
+        if limit is not None:
+            fields["limit"] = limit
+        return self._call("profile", fields)
+
     def shutdown(self):
         return self._call("shutdown")
 

@@ -312,6 +312,13 @@ OPERATIONS = {
     # client-minted trace id; every layer that sees it appends lifecycle
     # events to its ring, which is what this op reads back.
     "trace": (),
+    # Export the server's structured log ring (optional ``trace_id``,
+    # ``level`` floor and ``limit``) -- the prose twin of ``trace``.
+    "logs": (),
+    # Drive the member's sampling profiler: ``action`` is ``start``
+    # (optional ``hz``/``reset``), ``stop``, ``status`` or ``fetch``
+    # (optional ``limit``; returns flamegraph collapsed stacks).
+    "profile": ("action",),
     "shutdown": (),
     # Federation ops (peer<->peer / pod<->directory; see repro.federation).
     # A directory server accepts the membership and verdict ops; a peer pod

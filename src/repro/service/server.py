@@ -28,8 +28,9 @@ import asyncio
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import asynccontextmanager
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import IO, Mapping, Optional
 
 from repro.core.kernel import KernelTree
 from repro.core.typing import TreeTyping
@@ -37,6 +38,9 @@ from repro.distributed.network import DistributedDocument
 from repro.distributed.runtime.runtime import ValidationRuntime
 from repro.errors import InvalidXMLError, ReproError
 from repro.observability.exposition import MetricsExporter, render_exposition
+from repro.observability.logs import LogRecorder
+from repro.observability.profiling import SamplingProfiler
+from repro.observability.slo import SloEvaluator
 from repro.observability.tracing import TraceRecorder
 from repro.schemas.dtd_text import parse_dtd_text
 from repro.service import protocol
@@ -71,6 +75,14 @@ _RATE_LIMITED_OPS = frozenset({"publish", "publish_stream_begin"})
 
 #: How long :meth:`ServiceHandle.close` waits for the server thread.
 _JOIN_TIMEOUT = 30.0
+
+#: Seconds the runtime lock may stay continuously held before ``/readyz``
+#: reports the runtime as stalled (a wedged executor call).
+RUNTIME_STALL_SECONDS = 5.0
+
+#: Chatty read-path ops logged at ``debug`` so the default ``info`` view
+#: of the log ring stays about admission and state changes.
+_QUIET_OPS = frozenset({"ping", "stats", "trace", "logs", "publish_stream_chunk"})
 
 #: The server-side name for a typed request failure: the same class the
 #: clients raise when they receive the resulting error frame.
@@ -225,6 +237,10 @@ class AdmissionController:
         depth = self._queue.qsize()
         if self.max_queue_depth is not None and depth >= self.max_queue_depth:
             self._server.metrics.record_shed("queue-full")
+            self._server.logger.log_flat(
+                "warning", "publication shed: admission queue full", item.trace_id,
+                "design", item.design, "function", item.function, "depth", depth,
+            )
             raise OpError(
                 "overloaded",
                 f"admission queue is full ({depth} publications pending)",
@@ -256,7 +272,7 @@ class AdmissionController:
         depth = self._queue.qsize()
         started = time.perf_counter()
         try:
-            async with self._server.runtime_lock:
+            async with self._server._hold_runtime_lock():
                 settled = await self._server.run_in_executor(
                     self._server.execute_publications, batch
                 )
@@ -325,6 +341,8 @@ class ValidationServer:
         max_streams_per_shard: Optional[int] = DEFAULT_MAX_STREAMS_PER_SHARD,
         metrics_port: Optional[int] = None,
         tracer: Optional[TraceRecorder] = None,
+        logger: Optional[LogRecorder] = None,
+        log_sink: Optional[IO[str]] = None,
     ) -> None:
         from repro.engine.backends import resolve_backend
 
@@ -358,6 +376,20 @@ class ValidationServer:
         #: The publication-lifecycle trace ring; shared with every
         #: registered design's runtime so shard tasks record into it.
         self.tracer = tracer if tracer is not None else TraceRecorder(component="server")
+        #: The structured log ring -- the trace ring's prose twin, shared
+        #: with the runtimes the same way.  ``log_sink`` (e.g.
+        #: ``sys.stderr``) mirrors every event as one JSON line.
+        self.logger = logger if logger is not None else LogRecorder(component="server")
+        if log_sink is not None:
+            self.logger.sink = log_sink
+        #: Per-op latency objectives + availability burn rates, exported
+        #: as ``repro_slo_*`` gauges refreshed on every scrape.
+        self.slo = SloEvaluator(self.metrics)
+        #: The live sampling profiler driven by the ``profile`` wire op.
+        self.profiler = SamplingProfiler()
+        #: Monotonic stamp while the runtime lock is held (``/readyz``
+        #: calls the runtime stalled past RUNTIME_STALL_SECONDS).
+        self._runtime_busy_since: Optional[float] = None
         self.admission = AdmissionController(
             self, max_batch, batch_window, max_queue_depth=max_queue_depth
         )
@@ -391,9 +423,16 @@ class ValidationServer:
         self.host, self.port = sockname[0], sockname[1]
         if self.metrics_port is not None and self._exporter is None:
             self._exporter = MetricsExporter(
-                self._render_metrics, host=self.host, port=self.metrics_port
+                self._render_metrics,
+                host=self.host,
+                port=self.metrics_port,
+                routes={"/healthz": self._healthz_route, "/readyz": self._readyz_route},
             ).start()
             self.metrics_port = self._exporter.port
+        self.logger.info(
+            "server listening", host=self.host, port=self.port,
+            metrics_port=self.metrics_port,
+        )
         self.admission.start()
         if self.stream_ttl is not None:
             self._reaper_task = asyncio.get_running_loop().create_task(
@@ -415,6 +454,8 @@ class ValidationServer:
             return
         self._closing = True
         self._closed = True
+        self.logger.info("server shutting down", host=self.host, port=self.port)
+        self.profiler.stop()
         self._close_exporter()
         if self._reaper_task is not None:
             self._reaper_task.cancel()
@@ -456,6 +497,7 @@ class ValidationServer:
         """
         self._closing = True
         self._closed = True
+        self.profiler.stop()
         self._close_exporter()
         self._executor.shutdown(wait=True)
         for entry in self._designs.values():
@@ -468,10 +510,65 @@ class ValidationServer:
 
     def _render_metrics(self) -> str:
         """The exposition text ``/metrics`` serves (roles may add gauges)."""
+        self.slo.refresh()
         return render_exposition(self.metrics.registry.collect())
 
     async def run_in_executor(self, fn, *args):
         return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
+
+    @asynccontextmanager
+    async def _hold_runtime_lock(self):
+        """:attr:`runtime_lock` plus the busy stamp ``/readyz`` inspects."""
+        async with self.runtime_lock:
+            self._runtime_busy_since = time.monotonic()
+            try:
+                yield
+            finally:
+                self._runtime_busy_since = None
+
+    # ------------------------------------------------------------------ #
+    # health and readiness
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        """Liveness: the process answers, nothing more is claimed."""
+        return {"status": "ok", "role": type(self).__name__, "closing": self._closing}
+
+    def _readiness_checks(self) -> dict:
+        """Named boolean checks; federation roles extend this dict.
+
+        Reads only GIL-atomic attributes, so the exporter's scrape thread
+        can call it without touching the event loop.
+        """
+        depth = self.admission.queue_depth
+        ceiling = self.admission.max_queue_depth
+        busy_since = self._runtime_busy_since
+        return {
+            "accepting": not self._closing,
+            "admission_queue": ceiling is None or depth < ceiling,
+            "runtime_lock": (
+                busy_since is None
+                or time.monotonic() - busy_since < RUNTIME_STALL_SECONDS
+            ),
+        }
+
+    def readiness(self) -> dict:
+        """Readiness: should a balancer route new work here right now?"""
+        checks = self._readiness_checks()
+        return {
+            "ready": all(checks.values()),
+            "checks": checks,
+            "queue_depth": self.admission.queue_depth,
+            "retry_after_hint": self.admission.retry_after_hint(),
+        }
+
+    def _healthz_route(self) -> tuple[int, dict]:
+        payload = self.health()
+        return (200 if payload["status"] == "ok" else 503), payload
+
+    def _readyz_route(self) -> tuple[int, dict]:
+        payload = self.readiness()
+        return (200 if payload["ready"] else 503), payload
 
     # ------------------------------------------------------------------ #
     # design registry
@@ -492,6 +589,7 @@ class ValidationServer:
             shards=self.runtime_shards,
             validation_backend=self.validation_backend,
             tracer=self.tracer,
+            logger=self.logger,
         )
         try:
             runtime.propagate_typing(typing)
@@ -553,6 +651,10 @@ class ValidationServer:
         wait = bucket.try_take(now)
         if wait > 0.0:
             self.metrics.record_shed("rate-limited")
+            self.logger.log_flat(
+                "warning", "request shed: rate limit", None,
+                "op", op, "client", connection.peer_host, "retry_after", round(wait, 4),
+            )
             raise OpError(
                 "overloaded",
                 f"client {connection.peer_host} exceeded "
@@ -682,6 +784,10 @@ class ValidationServer:
             self.metrics.record_error(error.code)
             if trace_id:
                 self.tracer.record(trace_id, "op.error", op=op, code=error.code)
+            self.logger.log_flat(
+                "warning", "op failed", trace_id,
+                "op", str(op), "code", error.code,
+            )
             await connection.send_safely(
                 protocol.error_frame(
                     request_id, error.code, error.message, retry_after=error.retry_after
@@ -692,6 +798,10 @@ class ValidationServer:
             self.metrics.record_error("internal-error")
             if trace_id:
                 self.tracer.record(trace_id, "op.error", op=op, code="internal-error")
+            self.logger.log_flat(
+                "error", "op crashed", trace_id,
+                "op", str(op), "exception", type(error).__name__,
+            )
             await connection.send_safely(
                 protocol.error_frame(request_id, "internal-error", f"{type(error).__name__}: {error}")
             )
@@ -704,6 +814,12 @@ class ValidationServer:
                 self.tracer.record_flat(trace_id, "op", elapsed * 1000.0, "op", op, "design", design)
             else:
                 self.tracer.record_flat(trace_id, "op", elapsed * 1000.0, "op", op)
+        design = body.get("design")
+        self.logger.log_flat(
+            "debug" if op in _QUIET_OPS else "info", "op completed", trace_id,
+            "op", op, "design", design if isinstance(design, str) else None,
+            "ms", round(elapsed * 1000.0, 3),
+        )
         await connection.send_safely(protocol.result_frame(request_id, result))
         if op == "shutdown":
             # After the acknowledgement is on the wire, let serve_forever
@@ -728,6 +844,12 @@ class ValidationServer:
                     "stream_inline_threshold": self.stream_inline_threshold,
                     "max_streams_per_shard": self.max_streams_per_shard,
                     "metrics_port": self.metrics_port,
+                    # Observability capabilities: what this member serves
+                    # beyond the core ops (logs/profile wire ops; /healthz
+                    # and /readyz beside /metrics when exporting).
+                    "logs": True,
+                    "profile": True,
+                    "health": self.metrics_port is not None,
                 },
             }
         if op == "shutdown":
@@ -736,6 +858,10 @@ class ValidationServer:
             return self._stats()
         if op == "trace":
             return self._trace(body)
+        if op == "logs":
+            return self._logs(body)
+        if op == "profile":
+            return self._profile(body)
         if op == "register_design":
             return await self._register(body)
         if op == "publish":
@@ -782,6 +908,63 @@ class ValidationServer:
             "events": self.tracer.export(trace_id, limit),
         }
 
+    def _logs(self, body: dict) -> dict:
+        """Export the structured log ring (optionally filtered)."""
+        trace_id = body.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise OpError("bad-request", "'trace_id' must be a string")
+        limit = body.get("limit")
+        if limit is not None and not isinstance(limit, int):
+            raise OpError("bad-request", "'limit' must be an integer")
+        level = body.get("level")
+        if level is not None and not isinstance(level, str):
+            raise OpError("bad-request", "'level' must be a string")
+        try:
+            events = self.logger.export(trace_id, limit, level)
+        except ValueError as error:  # unknown level name
+            raise OpError("bad-request", str(error)) from None
+        return {
+            "component": self.logger.component,
+            "enabled": self.logger.enabled,
+            "level": self.logger.level,
+            "events": events,
+        }
+
+    def _profile(self, body: dict) -> dict:
+        """Drive the sampling profiler: start/stop/status/fetch."""
+        action = body.get("action")
+        if action not in ("start", "stop", "status", "fetch"):
+            raise OpError(
+                "bad-request",
+                "'action' must be one of 'start', 'stop', 'status', 'fetch'",
+            )
+        if action == "start":
+            hz = body.get("hz")
+            if hz is not None and not isinstance(hz, (int, float)):
+                raise OpError("bad-request", "'hz' must be a number")
+            try:
+                started = self.profiler.start(
+                    hz=float(hz) if hz is not None else None,
+                    reset=bool(body.get("reset", True)),
+                )
+            except ValueError as error:
+                raise OpError("bad-request", str(error)) from None
+            self.logger.info("profiler started", hz=self.profiler.hz, fresh=started)
+            return {"started": started, **self.profiler.snapshot()}
+        if action == "stop":
+            stopped = self.profiler.stop()
+            self.logger.info("profiler stopped", was_running=stopped)
+            return {"stopped": stopped, **self.profiler.snapshot()}
+        if action == "fetch":
+            limit = body.get("limit")
+            if limit is not None and not isinstance(limit, int):
+                raise OpError("bad-request", "'limit' must be an integer")
+            return {
+                "collapsed": self.profiler.collapsed(limit),
+                **self.profiler.snapshot(),
+            }
+        return self.profiler.snapshot()
+
     def _stats(self) -> dict:
         designs = {}
         for design_id, entry in self._designs.items():
@@ -795,6 +978,8 @@ class ValidationServer:
             }
         return {
             "service": self.metrics.snapshot(),
+            "slo": self.slo.refresh(),
+            "readiness": self.readiness(),
             "queue_depth": self.admission.queue_depth,
             "open_streams": sum(len(c.streams) for c in self._connections),
             "admission": {
@@ -843,10 +1028,15 @@ class ValidationServer:
             except ReproError as error:
                 raise OpError("bad-request", str(error)) from None
 
-        async with self.runtime_lock:
+        async with self._hold_runtime_lock():
             # Compile off the loop; mutate the registry back on it.
             entry = await self.run_in_executor(build)
             self.install_design(entry)
+        self.logger.info(
+            "design registered",
+            trace_id=body.get("trace") if isinstance(body.get("trace"), str) else None,
+            design=design_id, functions=len(documents),
+        )
         verdict = entry.runtime.current_verdict()
         return {**entry.describe(), "valid": verdict}
 
@@ -1131,7 +1321,7 @@ class ValidationServer:
                 "parse_failures": list(report.parse_failures),
             }
 
-        async with self.runtime_lock:
+        async with self._hold_runtime_lock():
             return await self.run_in_executor(run)
 
 

@@ -1,0 +1,158 @@
+"""The structured log ring: levels, trace filtering, sinks, concurrency."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.observability.logs import LEVELS, LogRecorder
+
+
+class TestLogRecorder:
+    def test_records_and_expands_events(self):
+        logger = LogRecorder(component="server")
+        logger.info("op completed", trace_id="t1", op="publish", ms=1.5)
+        logger.warning("queue full")
+        events = logger.export()
+        assert len(events) == 2
+        first = events[0]
+        assert first["msg"] == "op completed"
+        assert first["level"] == "info"
+        assert first["component"] == "server"
+        assert first["trace"] == "t1"
+        assert first["op"] == "publish" and first["ms"] == 1.5
+        assert "trace" not in events[1]  # untraced events carry no trace key
+
+    def test_filters_by_trace_id_and_level(self):
+        logger = LogRecorder()
+        logger.debug("noise", trace_id="t1")
+        logger.info("story", trace_id="t1")
+        logger.error("boom", trace_id="t2")
+        assert [e["msg"] for e in logger.export(trace_id="t1")] == ["noise", "story"]
+        assert [e["msg"] for e in logger.export(level="warning")] == ["boom"]
+        assert [e["msg"] for e in logger.export(trace_id="t1", level="info")] == ["story"]
+
+    def test_level_threshold_gates_recording(self):
+        logger = LogRecorder(level="warning")
+        logger.debug("dropped")
+        logger.info("dropped too")
+        logger.error("kept")
+        assert [e["msg"] for e in logger.export()] == ["kept"]
+        logger.level = "debug"
+        logger.debug("now kept")
+        assert len(logger) == 2
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            LogRecorder(level="loud")
+        logger = LogRecorder()
+        with pytest.raises(ValueError):
+            logger.export(level="loud")
+
+    def test_ring_is_bounded(self):
+        logger = LogRecorder(capacity=8)
+        for index in range(50):
+            logger.info(f"event {index}")
+        events = logger.export()
+        assert len(events) == 8
+        assert events[0]["msg"] == "event 42"
+        assert events[-1]["msg"] == "event 49"
+
+    def test_disabled_recorder_is_a_noop(self):
+        logger = LogRecorder(enabled=False)
+        logger.error("never stored")
+        assert len(logger) == 0
+
+    def test_limit_takes_the_tail(self):
+        logger = LogRecorder()
+        for index in range(10):
+            logger.info(f"event {index}")
+        assert [e["msg"] for e in logger.export(limit=2)] == ["event 8", "event 9"]
+
+    def test_log_flat_matches_kwargs_path(self):
+        logger = LogRecorder()
+        logger.log_flat("info", "fast", "t9", "op", "ping", "ms", 0.2)
+        (event,) = logger.export()
+        assert event["trace"] == "t9" and event["op"] == "ping" and event["ms"] == 0.2
+
+    def test_sink_mirrors_json_lines(self):
+        sink = io.StringIO()
+        logger = LogRecorder(component="pod:pod-0", sink=sink)
+        logger.info("joined", trace_id="t1", pod="pod-0")
+        logger.debug("quiet")
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["component"] == "pod:pod-0"
+        assert lines[0]["trace"] == "t1" and lines[0]["pod"] == "pod-0"
+
+    def test_broken_sink_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, _text):
+                raise OSError("pipe closed")
+
+        logger = LogRecorder(sink=Broken())
+        logger.info("still recorded")
+        assert len(logger) == 1
+
+    def test_levels_cover_the_syslog_subset(self):
+        assert list(LEVELS) == ["debug", "info", "warning", "error"]
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+
+class TestConcurrentWraparound:
+    def test_many_writers_wrapping_ring_stays_consistent(self):
+        """Writers far past capacity from many threads: no torn events.
+
+        The ring is lock-free (GIL-atomic deque appends); the invariant is
+        that every exported event is whole and the ring holds exactly the
+        last ``capacity`` appends' worth of events.
+        """
+        capacity = 64
+        logger = LogRecorder(capacity=capacity)
+        writers, per_writer = 8, 500
+        barrier = threading.Barrier(writers)
+
+        def write(writer: int) -> None:
+            barrier.wait()
+            for index in range(per_writer):
+                logger.log_flat(
+                    "info", "event", f"w{writer}", "writer", writer, "index", index
+                )
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = logger.export()
+        assert len(events) == capacity
+        for event in events:
+            # Every event expands whole: trace, attrs and message intact.
+            assert event["msg"] == "event"
+            assert event["trace"] == f"w{event['writer']}"
+            assert 0 <= event["index"] < per_writer
+
+    def test_concurrent_writers_and_readers(self):
+        logger = LogRecorder(capacity=32)
+        stop = threading.Event()
+
+        def write() -> None:
+            index = 0
+            while not stop.is_set():
+                logger.info("spin", index=index)
+                index += 1
+
+        threads = [threading.Thread(target=write) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                for event in logger.export():
+                    assert event["msg"] == "spin" and "index" in event
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

@@ -1,0 +1,118 @@
+"""The sampling profiler: lifecycle, folded stacks, bounded counts."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.observability.profiling import SamplingProfiler
+
+
+def _busy_thread(stop: threading.Event) -> threading.Thread:
+    def spin() -> None:
+        while not stop.is_set():
+            sum(range(500))
+
+    thread = threading.Thread(target=spin, name="busy", daemon=True)
+    thread.start()
+    return thread
+
+
+class TestLifecycle:
+    def test_start_is_idempotent_and_stop_reports_state(self):
+        profiler = SamplingProfiler(hz=200)
+        assert profiler.start() is True
+        try:
+            assert profiler.running is True
+            assert profiler.start() is False  # second start attaches, not respawns
+        finally:
+            assert profiler.stop() is True
+        assert profiler.running is False
+        assert profiler.stop() is False
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        profiler = SamplingProfiler()
+        with pytest.raises(ValueError):
+            profiler.start(hz=-5)
+
+    def test_start_can_retune_hz_and_reset(self):
+        profiler = SamplingProfiler(hz=10)
+        profiler.start(hz=300)
+        try:
+            assert profiler.hz == 300.0
+        finally:
+            profiler.stop()
+        samples_before = profiler.snapshot()["samples"]
+        profiler.start(reset=False)
+        profiler.stop()
+        assert profiler.snapshot()["samples"] >= samples_before
+
+
+class TestSampling:
+    def test_collects_collapsed_stacks_from_live_threads(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        profiler = SamplingProfiler(hz=400)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and profiler.snapshot()["samples"] < 20:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            thread.join()
+        collapsed = profiler.collapsed()
+        assert collapsed, "expected non-empty folded stacks"
+        lines = collapsed.splitlines()
+        for line in lines:
+            stack, _space, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+            assert all(":" in frame for frame in stack.split(";") if frame != "...")
+        # The busy thread's spin frame is hot enough to be sampled.
+        assert any("test_profiling.py:spin" in line for line in lines)
+
+    def test_limit_takes_hottest_stacks(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        profiler = SamplingProfiler(hz=400)
+        profiler.start()
+        time.sleep(0.1)
+        profiler.stop()
+        stop.set()
+        thread.join()
+        limited = profiler.collapsed(limit=1)
+        assert len(limited.splitlines()) <= 1
+
+    def test_counts_are_bounded_by_max_stacks(self):
+        profiler = SamplingProfiler(hz=100, max_stacks=1)
+        # Inject folded counts through the private table to test the bound
+        # deterministically (sampling whole stacks rarely collides).
+        with profiler._lock:
+            profiler._counts["a:b"] = 1
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        profiler.start(reset=False)
+        time.sleep(0.1)
+        profiler.stop()
+        stop.set()
+        thread.join()
+        snapshot = profiler.snapshot()
+        assert snapshot["stacks"] == 1  # the table never grew past the bound
+        assert snapshot["dropped"] > 0
+
+    def test_snapshot_shape(self):
+        profiler = SamplingProfiler(hz=50)
+        snapshot = profiler.snapshot()
+        assert snapshot == {
+            "running": False,
+            "hz": 50.0,
+            "samples": 0,
+            "stacks": 0,
+            "dropped": 0,
+            "started_at": None,
+        }

@@ -71,3 +71,36 @@ class TestTraceRecorder:
         recorder.record("t", "op")
         recorder.export()[0]["name"] = "mutated"
         assert recorder.export()[0]["name"] == "op"
+
+    def test_concurrent_writers_wrapping_ring_stay_consistent(self):
+        """Many threads wrapping the ring concurrently: no torn events.
+
+        The ring is deliberately lock-free (GIL-atomic deque appends);
+        after far more appends than capacity from many threads, every
+        exported event must still be whole and internally consistent.
+        """
+        import threading
+
+        capacity = 64
+        recorder = TraceRecorder(capacity=capacity)
+        writers, per_writer = 8, 500
+        barrier = threading.Barrier(writers)
+
+        def write(writer: int) -> None:
+            barrier.wait()
+            for index in range(per_writer):
+                recorder.record_flat(
+                    f"w{writer}", "op", float(index), "writer", writer, "index", index
+                )
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = recorder.export()
+        assert len(events) == capacity
+        for event in events:
+            assert event["trace"] == f"w{event['writer']}"
+            assert event["ms"] == float(event["index"])
+            assert 0 <= event["index"] < per_writer

@@ -449,3 +449,105 @@ class TestFederationCLI:
         assert report["acks_match"] is True
         assert report["global_verdict"]["complete"] is True
         assert report["clean_shutdown"] is True
+
+
+class TestObservabilityCLI:
+    @pytest.fixture
+    def live_server(self):
+        from repro.service.server import ServiceHandle, ValidationServer
+        from repro.workloads.synthetic import distributed_workload
+
+        workload = distributed_workload(peers=2, documents=2, seed=3, invalid_rate=0.0)
+        server = ValidationServer(runtime_workers=2)
+        server.preload_design(
+            "workload", workload.kernel, workload.typing, workload.initial_documents
+        )
+        with ServiceHandle(server).start() as handle:
+            yield handle, workload
+
+    def test_stats_watch_survives_server_shutdown(self, live_server, capsys):
+        """``stats --watch`` on a server that goes away exits 0 with a
+        final "server gone" line -- an operator tailing a restarting
+        service must not be handed a stack trace."""
+        handle, _workload = live_server
+        endpoint = f"{handle.host}:{handle.port}"
+        outcome: dict = {}
+
+        def run():
+            outcome["code"] = main(["stats", endpoint, "--watch", "0.1"])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        time.sleep(0.4)  # let at least one snapshot print
+        handle.close()
+        thread.join(15)
+        assert not thread.is_alive(), "watch mode hung across server shutdown"
+        assert outcome["code"] == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out  # at least one live snapshot rendered
+        assert out.rstrip().endswith("server gone")
+
+    def test_stats_without_watch_still_raises_on_dead_server(self, live_server):
+        handle, _workload = live_server
+        endpoint = f"{handle.host}:{handle.port}"
+        handle.close()
+        assert main(["stats", endpoint]) == 2  # typed ReproError exit
+
+    def test_logs_filters_by_trace_id(self, live_server, capsys):
+        from repro.service.client import ServiceClient
+        from repro.trees.xml_io import tree_to_xml
+
+        handle, workload = live_server
+        function = next(iter(workload.initial_documents))
+        payload = tree_to_xml(workload.initial_documents[function])
+        with ServiceClient(handle.host, handle.port) as client:
+            client.publish("workload", function, payload, trace_id="cli-trace")
+        exit_code = main(["logs", f"{handle.host}:{handle.port}", "--id", "cli-trace"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "publication queued for validation" in out
+        assert "[server" in out
+
+    def test_logs_json_and_empty_trace_is_nonzero(self, live_server, capsys):
+        handle, _workload = live_server
+        exit_code = main(
+            ["logs", f"{handle.host}:{handle.port}", "--id", "no-such-trace", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert report == {"trace": "no-such-trace", "events": []}
+
+    def test_profile_worked_example_prints_collapsed_stacks(self, live_server, capsys):
+        handle, _workload = live_server
+        exit_code = main(
+            ["profile", f"{handle.host}:{handle.port}", "--duration", "0.5",
+             "--hz", "300"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "# samples=" in captured.err
+        for line in captured.out.splitlines():
+            stack, _space, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+
+    def test_slo_summary_reports_green_posture(self, live_server, capsys):
+        from repro.service.client import ServiceClient
+        from repro.trees.xml_io import tree_to_xml
+
+        handle, workload = live_server
+        function = next(iter(workload.initial_documents))
+        payload = tree_to_xml(workload.initial_documents[function])
+        with ServiceClient(handle.host, handle.port) as client:
+            client.publish("workload", function, payload)
+        exit_code = main(["slo", f"{handle.host}:{handle.port}"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "burn" in out and "publish" in out
+
+    def test_slo_json_carries_burn_rates(self, live_server, capsys):
+        handle, _workload = live_server
+        exit_code = main(["slo", f"{handle.host}:{handle.port}", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert set(report["burn_rates"]) == {"60s", "300s"}
+        assert report["ok"] is True
